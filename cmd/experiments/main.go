@@ -1,0 +1,165 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section and prints paper-vs-measured rows — the data behind
+// EXPERIMENTS.md. The -quick flag shrinks the expensive real-solver
+// experiments (Fig. 7 buffer sweep, Fig. 9 reactive MD).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	qmd "ldcdft"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	quick := flag.Bool("quick", false, "smaller sweeps for the expensive experiments")
+	flag.Parse()
+	start := time.Now()
+
+	section("Fig. 5 — weak scaling (machine model)")
+	for _, pt := range qmd.Fig5WeakScaling() {
+		fmt.Printf("  P=%7d  atoms=%11d  T=%8.1f s/step  eff=%.4f\n",
+			pt.Cores, pt.Atoms, pt.WallClock, pt.Efficiency)
+	}
+	fmt.Println("  paper: parallel efficiency 0.984 on 786,432 cores")
+
+	section("Fig. 6 — strong scaling (machine model)")
+	for _, pt := range qmd.Fig6StrongScaling() {
+		fmt.Printf("  P=%7d  T=%7.2f s/step  eff=%.4f\n", pt.Cores, pt.WallClock, pt.Efficiency)
+	}
+	fmt.Println("  paper: speedup 12.85 / efficiency 0.803 at 16× cores")
+
+	section("Fig. 7 — energy convergence vs buffer (REAL solver, scaled system)")
+	fig7, err := qmd.Fig7BufferConvergence(*quick)
+	if err != nil {
+		log.Fatalf("Fig7: %v", err)
+	}
+	fmt.Printf("  reference energy (single domain): %.6f Ha, %d atoms\n", fig7.RefEnergy, fig7.Atoms)
+	fmt.Println("  b(pts)  b(Bohr)   LDC err/atom    DC err/atom")
+	for _, p := range fig7.Points {
+		fmt.Printf("  %4d   %6.3f    %.3e      %.3e\n", p.BufN, p.BufferBohr, p.LDCErr, p.DCErr)
+	}
+	fmt.Println("  paper: LDC converges within 1e-3 Ha/atom above b = 4 a.u., much faster than DC")
+
+	section("§5.2 — LDC-over-DC speedups and O(N³) crossover")
+	fmt.Println("  tolerance    b_DC     b_LDC    speedup(nu=2)  speedup(nu=3)   [paper CdSe buffers]")
+	for _, r := range qmd.Sec52PaperSpeedups() {
+		fmt.Printf("  %8.0e   %6.2f   %6.2f     %6.2f        %6.2f\n",
+			r.TolHa, r.BufDC, r.BufLDC, r.SpeedupNu2, r.SpeedupNu3)
+	}
+	if len(fig7.Points) >= 2 {
+		h := fig7.Points[0].BufferBohr / float64(fig7.Points[0].BufN)
+		coreLen := 12 * h // 2×2×2 split of the 24-point grid
+		// Pick tolerances inside the measured error range so the buffer
+		// interpolation is meaningful at this scaled-down system size.
+		first := fig7.Points[0]
+		last := fig7.Points[len(fig7.Points)-1]
+		tols := []float64{
+			math.Sqrt(first.DCErr * last.DCErr),
+			last.DCErr * 1.2,
+		}
+		fmt.Printf("  measured from OUR Fig. 7 curves (core l = %.2f Bohr):\n", coreLen)
+		for _, r := range qmd.MeasuredSpeedups(fig7, coreLen, tols) {
+			fmt.Printf("  %8.1e   %6.2f   %6.2f     %6.2f        %6.2f\n",
+				r.TolHa, r.BufDC, r.BufLDC, r.SpeedupNu2, r.SpeedupNu3)
+		}
+	}
+	if cx, err := qmd.Sec52Crossover(); err == nil {
+		fmt.Printf("  crossover: L = %.2f a.u. → %.0f atoms (paper: 28.56 a.u., 125 atoms); 1.5× buffer → %.0f (paper: 422)\n",
+			cx.CrossoverL, cx.CrossoverAtoms, cx.Stringent)
+	}
+
+	section("Table 1 — FLOP/s vs threads per core (model)")
+	cells, err := qmd.Table1ThreadScaling()
+	if err != nil {
+		log.Fatalf("Table1: %v", err)
+	}
+	fmt.Println("  nodes  threads   GFLOP/s   pct-peak   [paper %]")
+	paper := map[[2]int]float64{{4, 1}: 28.8, {4, 2}: 41.9, {4, 4}: 54.3,
+		{8, 1}: 26.4, {8, 2}: 34.4, {8, 4}: 45.6, {16, 1}: 24.6, {16, 2}: 31.0, {16, 4}: 46.8}
+	for _, c := range cells {
+		fmt.Printf("  %4d   %4d     %8.0f   %5.1f    %5.1f\n",
+			c.Nodes, c.ThreadsPerCore, c.GFlops, 100*c.PctPeak, paper[[2]int{c.Nodes, c.ThreadsPerCore}])
+	}
+
+	section("Table 2 — FLOP/s at rack scale (model)")
+	fmt.Println("  racks    cores      TFLOP/s   pct-peak    paper-TF  paper-%")
+	for _, r := range qmd.Table2RackFlops() {
+		fmt.Printf("  %4d   %7d   %9.1f   %5.2f    %8.1f   %5.2f\n",
+			r.Racks, r.Cores, r.TFlops, r.PctPeak, r.PaperTF, r.PaperPct)
+	}
+
+	section("§2 — time-to-solution comparison")
+	for _, r := range qmd.Sec2TimeToSolution() {
+		fmt.Printf("  %-55s %12.1f atom·iter/s\n", r.Code, r.Speed)
+	}
+	fmt.Println("  paper: 5,800× over the O(N³) baseline, 62× over the O(N) baseline")
+
+	steps := 6000
+	pairs9a := 20
+	sizes := []int{10, 20, 40}
+	if *quick {
+		steps = 1500
+		pairs9a = 10
+		sizes = []int{8, 16}
+	}
+	section("Fig. 9(a) — Arrhenius plot of H₂ production (REAL reactive MD, scaled)")
+	arr, err := qmd.Fig9aArrhenius(pairs9a, steps, 3)
+	if err != nil {
+		log.Fatalf("Fig9a: %v", err)
+	}
+	for i, tk := range arr.TempsK {
+		fmt.Printf("  T=%5.0f K: rate %.3g /s/pair, pH %.2f → %.2f\n",
+			tk, arr.Rates[i], arr.PHStart[i], arr.PHEnd[i])
+	}
+	fmt.Printf("  Arrhenius fit: Ea = %.3f eV (paper: 0.068 eV), prefactor %.3g /s\n", arr.EaEV, arr.Prefactor)
+
+	section("Fig. 9(b) — rate per surface atom vs particle size (REAL reactive MD, scaled)")
+	// An early measurement window avoids small-particle saturation (the
+	// limited water-per-metal inventory caps total H2 for tiny clusters).
+	steps9b := steps * 2 / 5
+	rows, err := qmd.Fig9bSizeScaling(sizes, steps9b, 4)
+	if err != nil {
+		log.Fatalf("Fig9b: %v", err)
+	}
+	for _, r := range rows {
+		fmt.Printf("  Li%dAl%d: %5d atoms, Nsurf=%4d, H2=%3d, rate/Nsurf = %.3g /s\n",
+			r.Pairs, r.Pairs, r.Atoms, r.SurfaceAtoms, r.H2Produced, r.RatePerSurf)
+	}
+	fmt.Println("  paper: normalized rate constant within error bars across sizes")
+
+	section("§5.5 — verification: LDC-DFT vs conventional O(N³) DFT (REAL solvers)")
+	ver, err := qmd.Sec55Verification()
+	if err != nil {
+		log.Fatalf("Sec55: %v", err)
+	}
+	fmt.Printf("  %d atoms: E/atom LDC %.6f vs conventional %.6f (Δ %.2e Ha/atom)\n",
+		ver.Atoms, ver.LDCEnergyPA, ver.ConvEnergyPA, ver.DiffPA)
+	fmt.Printf("  force RMS: LDC %.4f vs conventional %.4f Ha/Bohr (max Δ %.4f)\n",
+		ver.LDCForceRMS, ver.ConvForceRMS, ver.MaxForceDiff)
+	fmt.Printf("  quantity of interest identical: %v (census %d vs %d)\n",
+		ver.QuantityLDC == ver.QuantityConv, ver.QuantityLDC, ver.QuantityConv)
+
+	section("§4.2 — collective I/O group-size study (model) and Hilbert compression (real)")
+	sweep, opt := qmd.IOGroupSizeSweep()
+	for _, p := range sweep {
+		if p.GroupSize >= 16 && p.GroupSize <= 4096 {
+			fmt.Printf("  group=%5d  write=%7.2f s\n", p.GroupSize, p.WriteSec)
+		}
+	}
+	fmt.Printf("  optimal group size: %d (paper: 192)\n", opt)
+	if ratio, err := qmd.CompressionDemo(4, 12); err == nil {
+		fmt.Printf("  Hilbert-curve snapshot compression (512-atom SiC): %.1f×\n", ratio)
+	}
+
+	fmt.Printf("\nall experiments done in %s\n", time.Since(start).Round(time.Second))
+}
+
+func section(title string) {
+	fmt.Printf("\n=== %s ===\n", title)
+}

@@ -1,0 +1,41 @@
+// Command scalebench prints the modelled weak- and strong-scaling
+// experiments of the paper (Figs. 5 and 6) on the Blue Gene/Q machine
+// model, using the calibrated LDC-DFT cost model.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	qmd "ldcdft"
+)
+
+func main() {
+	weak := flag.Bool("weak", true, "run the weak-scaling experiment (Fig. 5)")
+	strong := flag.Bool("strong", true, "run the strong-scaling experiment (Fig. 6)")
+	flag.Parse()
+
+	if *weak {
+		fmt.Println("Fig. 5 — weak scaling: 64·P-atom SiC on P Blue Gene/Q cores")
+		fmt.Println("      P        atoms   wall-clock/step   efficiency")
+		for _, pt := range qmd.Fig5WeakScaling() {
+			fmt.Printf("%8d  %11d  %12.1f s    %8.4f\n",
+				pt.Cores, pt.Atoms, pt.WallClock, pt.Efficiency)
+		}
+		fmt.Println("paper: efficiency 0.984 at P = 786,432 (50,331,648 atoms)")
+		fmt.Println()
+	}
+	if *strong {
+		fmt.Println("Fig. 6 — strong scaling: 77,889-atom LiAl-water system")
+		fmt.Println("      P    wall-clock/step   speedup   efficiency")
+		base := 0.0
+		for _, pt := range qmd.Fig6StrongScaling() {
+			if base == 0 {
+				base = pt.WallClock
+			}
+			fmt.Printf("%8d  %12.2f s   %7.2f   %8.4f\n",
+				pt.Cores, pt.WallClock, base/pt.WallClock, pt.Efficiency)
+		}
+		fmt.Println("paper: speedup 12.85 (efficiency 0.803) at 16× cores")
+	}
+}

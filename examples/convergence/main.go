@@ -1,0 +1,29 @@
+// Convergence: the Fig. 7 experiment at example scale — potential-energy
+// error vs buffer thickness for LDC-DFT and the original DC-DFT, showing
+// the boundary potential's faster convergence (the source of the §5.2
+// speedups).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	qmd "ldcdft"
+)
+
+func main() {
+	log.SetFlags(0)
+	fmt.Println("buffer sweep on an 8-atom SiC cell (2×2×2 domains, single-domain reference)")
+	res, err := qmd.Fig7BufferConvergence(false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reference energy: %.6f Ha\n\n", res.RefEnergy)
+	fmt.Println("buffer(Bohr)   LDC error (Ha/atom)   DC error (Ha/atom)")
+	for _, p := range res.Points {
+		fmt.Printf("   %6.3f        %.3e             %.3e\n", p.BufferBohr, p.LDCErr, p.DCErr)
+	}
+	fmt.Println("\nLDC's density-adaptive boundary potential v_bc = (ρα−ρ)/ξ lets it reach a")
+	fmt.Println("given accuracy with a thinner buffer; the DC cost scales as (l+2b)^{3ν},")
+	fmt.Println("so the thinner buffer is the entire §5.2 time-to-solution gain.")
+}

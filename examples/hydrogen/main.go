@@ -1,0 +1,45 @@
+// Hydrogen-on-demand: a Li15Al15 nanoparticle in water at 1500 K evolved
+// with the reactive surrogate field — the scaled-down version of the
+// paper's §6 production simulation. Prints the species census as water
+// dissociates at the particle surface and H₂ forms.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ldcdft/internal/atoms"
+	"ldcdft/internal/reactive"
+)
+
+func main() {
+	log.SetFlags(0)
+	rng := rand.New(rand.NewSource(7))
+	sys, err := atoms.BuildLiAlInWater(atoms.LiAlParticleSpec{PairCount: 15}, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Li15Al15 + %d H2O: %d atoms, %d surface metal atoms\n",
+		sys.CountSpecies(atoms.Oxygen), sys.NumAtoms(), reactive.SurfaceAtoms(sys))
+
+	res, err := reactive.RunProduction(sys, reactive.ProductionConfig{
+		TempK:       1500,
+		Steps:       3000,
+		SampleEvery: 500,
+		Seed:        7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  time(fs)   H2  H2O  OH-  M-H  freeH  pH-proxy")
+	for _, s := range res.Samples {
+		c := s.Census
+		fmt.Printf("%9.1f  %4d %4d %4d %4d  %5d  %8.2f\n",
+			s.TimeFs, c.H2, c.Water, c.Hydroxide, c.MetalH, c.FreeH, c.PHProxy())
+	}
+	fmt.Printf("\nH2 rate: %.3g /s per LiAl pair (paper reports 1.04e9 /s/pair at 300 K)\n",
+		res.RatePerPairPerSec)
+	fmt.Printf("Li dissolved into water: %d (the corrosive basic solution of §6)\n",
+		res.Final.DissolvedLi)
+}

@@ -1,0 +1,29 @@
+// Scaling: the Fig. 5 / Fig. 6 experiments on the Blue Gene/Q machine
+// model — weak scaling to 786,432 cores (50.3M atoms) and strong scaling
+// of the 77,889-atom LiAl-water system.
+package main
+
+import (
+	"fmt"
+
+	qmd "ldcdft"
+)
+
+func main() {
+	fmt.Println("=== Fig. 5: weak scaling (64 atoms/core) ===")
+	fmt.Println("      P        atoms    s/step   efficiency")
+	for _, pt := range qmd.Fig5WeakScaling() {
+		fmt.Printf("%8d  %11d  %8.1f   %8.4f\n", pt.Cores, pt.Atoms, pt.WallClock, pt.Efficiency)
+	}
+
+	fmt.Println("\n=== Fig. 6: strong scaling (77,889 atoms) ===")
+	fmt.Println("      P     s/step   efficiency")
+	for _, pt := range qmd.Fig6StrongScaling() {
+		fmt.Printf("%8d  %8.2f   %8.4f\n", pt.Cores, pt.WallClock, pt.Efficiency)
+	}
+
+	fmt.Println("\n=== §2: time-to-solution ===")
+	for _, r := range qmd.Sec2TimeToSolution() {
+		fmt.Printf("%-58s %12.1f atom·iter/s\n", r.Code, r.Speed)
+	}
+}

@@ -1,0 +1,3 @@
+module ldcdft
+
+go 1.22

@@ -1,0 +1,26 @@
+package atoms
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkNeighborListSiC512(b *testing.B) {
+	sys := BuildSiC(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildNeighborList(sys, 5.0)
+	}
+}
+
+func BenchmarkNeighborListLiAlWater(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	sys, err := BuildLiAlInWater(LiAlParticleSpec{PairCount: 30}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildNeighborList(sys, 7.0)
+	}
+}

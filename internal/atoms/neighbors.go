@@ -1,0 +1,144 @@
+package atoms
+
+import (
+	"math"
+
+	"ldcdft/internal/geom"
+)
+
+// Neighbor is one entry of a neighbour list: atom index J at minimum-image
+// displacement D (from atom I to J) and distance R.
+type Neighbor struct {
+	J int
+	D geom.Vec3
+	R float64
+}
+
+// NeighborList holds, for every atom, its neighbours within a cutoff.
+// It is built with the linked-cell method: O(N) construction, the same
+// data-locality structure that underlies the paper's range-limited MD
+// machinery (refs. [26, 79]).
+type NeighborList struct {
+	Cutoff float64
+	Lists  [][]Neighbor
+}
+
+// BuildNeighborList constructs the list for all atoms within cutoff rc.
+func BuildNeighborList(s *System, rc float64) *NeighborList {
+	n := len(s.Atoms)
+	nl := &NeighborList{Cutoff: rc, Lists: make([][]Neighbor, n)}
+	if n == 0 {
+		return nl
+	}
+	L := s.Cell.L
+	// Number of linked cells per axis; at least 1, cells no smaller
+	// than the cutoff (unless the box itself is smaller).
+	nc := int(L / rc)
+	if nc < 1 {
+		nc = 1
+	}
+	if nc > 3 {
+		// Cell method valid; otherwise fall back to all-pairs below.
+		heads := make([]int, nc*nc*nc)
+		for i := range heads {
+			heads[i] = -1
+		}
+		next := make([]int, n)
+		cellOf := func(p geom.Vec3) int {
+			w := s.Cell.Wrap(p)
+			cx := int(w.X / L * float64(nc))
+			cy := int(w.Y / L * float64(nc))
+			cz := int(w.Z / L * float64(nc))
+			if cx >= nc {
+				cx = nc - 1
+			}
+			if cy >= nc {
+				cy = nc - 1
+			}
+			if cz >= nc {
+				cz = nc - 1
+			}
+			return (cx*nc+cy)*nc + cz
+		}
+		for i := range s.Atoms {
+			c := cellOf(s.Atoms[i].Position)
+			next[i] = heads[c]
+			heads[c] = i
+		}
+		// Pre-wrap positions once; inside the cell loop the periodic
+		// image offset is known from the neighbour-cell wrap, so
+		// displacements need no minimum-image search.
+		wrapped := make([]geom.Vec3, n)
+		for i := range s.Atoms {
+			wrapped[i] = s.Cell.Wrap(s.Atoms[i].Position)
+		}
+		rc2 := rc * rc
+		for i := range s.Atoms {
+			pi := wrapped[i]
+			cx := minInt(int(pi.X/L*float64(nc)), nc-1)
+			cy := minInt(int(pi.Y/L*float64(nc)), nc-1)
+			cz := minInt(int(pi.Z/L*float64(nc)), nc-1)
+			for dx := -1; dx <= 1; dx++ {
+				ccx, sx := wrapShift(cx+dx, nc, L)
+				for dy := -1; dy <= 1; dy++ {
+					ccy, sy := wrapShift(cy+dy, nc, L)
+					for dz := -1; dz <= 1; dz++ {
+						ccz, sz := wrapShift(cz+dz, nc, L)
+						cc := (ccx*nc+ccy)*nc + ccz
+						for j := heads[cc]; j >= 0; j = next[j] {
+							if j == i {
+								continue
+							}
+							ddx := wrapped[j].X + sx - pi.X
+							ddy := wrapped[j].Y + sy - pi.Y
+							ddz := wrapped[j].Z + sz - pi.Z
+							r2 := ddx*ddx + ddy*ddy + ddz*ddz
+							if r2 < rc2 {
+								nl.Lists[i] = append(nl.Lists[i], Neighbor{
+									J: j,
+									D: geom.Vec3{X: ddx, Y: ddy, Z: ddz},
+									R: math.Sqrt(r2),
+								})
+							}
+						}
+					}
+				}
+			}
+		}
+		return nl
+	}
+	// All-pairs fallback for small boxes.
+	rc2 := rc * rc
+	for i := range s.Atoms {
+		for j := range s.Atoms {
+			if i == j {
+				continue
+			}
+			d := s.Cell.MinImage(s.Atoms[i].Position, s.Atoms[j].Position)
+			r2 := d.Norm2()
+			if r2 < rc2 {
+				nl.Lists[i] = append(nl.Lists[i], Neighbor{J: j, D: d, R: math.Sqrt(r2)})
+			}
+		}
+	}
+	return nl
+}
+
+// wrapShift wraps a cell index and returns the corresponding periodic
+// position offset.
+func wrapShift(i, n int, l float64) (int, float64) {
+	if i < 0 {
+		return i + n, -l
+	}
+	if i >= n {
+		return i - n, l
+	}
+	return i, 0
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

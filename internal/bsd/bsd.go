@@ -1,0 +1,124 @@
+// Package bsd implements the hierarchical band-space-domain decomposition
+// of §3.3: at the coarse level, DC domains are distributed over dedicated
+// core groups (the MPI_COMM_SPLIT communicators of the paper); within each
+// group, work is split alternately over bands (different Kohn–Sham states
+// on different cores) and space (different real/reciprocal grid points),
+// with all-to-all transposes to switch between the two (Fig. 4).
+//
+// Two layers are provided: Plan/Decomposition is the pure bookkeeping used
+// by the machine performance model, and Pool is the real goroutine
+// executor that runs domain solves concurrently in this process.
+package bsd
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Decomposition records how cores are assigned across the BSD hierarchy.
+type Decomposition struct {
+	Cores   int // total cores
+	Domains int // DC domains (coarse task decomposition)
+
+	// Within one domain communicator:
+	CoresPerDomain int
+	BandGroups     int // cores along the band axis
+	SpaceGroups    int // cores along the space axis (grid points)
+}
+
+// Plan chooses a balanced decomposition: domains get equal core groups;
+// within a group the band axis is filled first (band parallelism needs no
+// communication during CG refinement, §3.3) up to the band count, the
+// rest goes to the space axis.
+func Plan(cores, domains, bandsPerDomain int) (Decomposition, error) {
+	if cores < 1 || domains < 1 || bandsPerDomain < 1 {
+		return Decomposition{}, fmt.Errorf("bsd: invalid plan inputs %d/%d/%d", cores, domains, bandsPerDomain)
+	}
+	d := Decomposition{Cores: cores, Domains: domains}
+	d.CoresPerDomain = cores / domains
+	if d.CoresPerDomain < 1 {
+		d.CoresPerDomain = 1
+	}
+	d.BandGroups = d.CoresPerDomain
+	if d.BandGroups > bandsPerDomain {
+		d.BandGroups = bandsPerDomain
+	}
+	d.SpaceGroups = d.CoresPerDomain / d.BandGroups
+	if d.SpaceGroups < 1 {
+		d.SpaceGroups = 1
+	}
+	return d, nil
+}
+
+// Waves returns how many sequential waves of domain solves are needed
+// when domains outnumber core groups.
+func (d Decomposition) Waves() int {
+	groups := d.Cores / d.CoresPerDomain
+	if groups < 1 {
+		groups = 1
+	}
+	return (d.Domains + groups - 1) / groups
+}
+
+// TransposeBytesPerCore returns the bytes each core contributes to one
+// band↔space all-to-all: its share of the packed wave-function matrix
+// (complex128 coefficients).
+func (d Decomposition) TransposeBytesPerCore(planeWaves, bands int) int64 {
+	total := int64(16) * int64(planeWaves) * int64(bands)
+	return total / int64(d.CoresPerDomain)
+}
+
+// OverlapMatrixBytes returns the size of the Nband×Nband overlap matrix
+// reduced across the domain communicator during orthonormalization.
+func (d Decomposition) OverlapMatrixBytes(bands int) int64 {
+	return int64(16) * int64(bands) * int64(bands)
+}
+
+// Pool executes tasks on a bounded set of goroutines — the in-process
+// equivalent of the coarse task decomposition over domain communicators.
+type Pool struct {
+	Workers int // 0 → GOMAXPROCS
+}
+
+// Run executes task(i) for i in [0, n), returning the first error (all
+// tasks are attempted regardless).
+func (p *Pool) Run(n int, task func(i int) error) error {
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		var firstErr error
+		for i := 0; i < n; i++ {
+			if err := task(i); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	errs := make(chan error, n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := task(i); err != nil {
+					errs <- err
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	return <-errs
+}

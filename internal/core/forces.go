@@ -1,0 +1,60 @@
+package core
+
+import (
+	"ldcdft/internal/atoms"
+	"ldcdft/internal/geom"
+	"ldcdft/internal/pw"
+)
+
+// systemArrays flattens the system into parallel species/position slices
+// (positions wrapped into the primary cell).
+func (e *Engine) systemArrays() ([]*atoms.Species, []geom.Vec3) {
+	sp := make([]*atoms.Species, e.Sys.NumAtoms())
+	pos := make([]geom.Vec3, e.Sys.NumAtoms())
+	for i, a := range e.Sys.Atoms {
+		sp[i] = a.Species
+		pos[i] = e.Sys.Cell.Wrap(a.Position)
+	}
+	return sp, pos
+}
+
+// ionIonEnergy returns the global ion-ion energy of the full cell.
+func (e *Engine) ionIonEnergy() float64 {
+	sp, pos := e.systemArrays()
+	eII, _ := pw.IonIon(e.Sys.Cell, sp, pos)
+	return eII
+}
+
+// Forces returns the total force on every atom: each domain computes the
+// Hellmann–Feynman forces (local pseudopotential against its local
+// density, plus nonlocal projector terms) for the atoms it owns (its
+// core atoms); the global ion-ion term is evaluated once on the full
+// cell. Every atom belongs to exactly one core, so the assignment is
+// complete and non-overlapping.
+func (e *Engine) Forces() ([]geom.Vec3, error) {
+	forces := make([]geom.Vec3, e.Sys.NumAtoms())
+	err := e.parallelDomains(func(s *domainSolver) error {
+		if len(s.da.Species) == 0 || s.occ == nil || s.rhoLocal == nil {
+			return nil
+		}
+		b := s.eng.Basis
+		fLoc := pw.LocalForces(b, s.rhoLocal.Data, s.da.Species, s.da.Local)
+		fNl := pw.NonlocalForces(b, s.eng.Ham.Proj, s.eng.Psi, s.occ, len(s.da.Species))
+		for k, gi := range s.da.Index {
+			if !s.da.InCore[k] {
+				continue
+			}
+			forces[gi] = forces[gi].Add(fLoc[k]).Add(fNl[k])
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sp, pos := e.systemArrays()
+	_, fII := pw.IonIon(e.Sys.Cell, sp, pos)
+	for i := range forces {
+		forces[i] = forces[i].Add(fII[i])
+	}
+	return forces, nil
+}

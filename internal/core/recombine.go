@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// This file implements a slice of the divide-conquer-recombine (DCR)
+// paradigm of §7: the DC phase computes globally-informed local solutions
+// (the domain Kohn–Sham states); the recombine phase synthesizes global
+// electronic-structure observables from them. Implemented here: the
+// global density of states and the global frontier orbitals (HOMO/LUMO)
+// — item (2) of the paper's DCR application list.
+
+// DOSPoint is one energy bin of the global density of states.
+type DOSPoint struct {
+	Energy float64 // bin centre (Hartree)
+	States float64 // core-weighted state density (states/Hartree)
+}
+
+// DensityOfStates recombines the domain eigenvalues into the global
+// density of states with Gaussian broadening sigma, weighting each local
+// Kohn–Sham state by its core fraction w_nα (the partition of unity
+// applied to the spectral density). Call after at least one SCFStep.
+func (e *Engine) DensityOfStates(emin, emax float64, bins int, sigma float64) []DOSPoint {
+	if bins < 1 {
+		return nil
+	}
+	if sigma <= 0 {
+		sigma = 0.01
+	}
+	out := make([]DOSPoint, bins)
+	de := (emax - emin) / float64(bins)
+	for i := range out {
+		out[i].Energy = emin + (float64(i)+0.5)*de
+	}
+	norm := 1 / (sigma * math.Sqrt(2*math.Pi))
+	for _, s := range e.solvers {
+		for n, eps := range s.eig {
+			w := 1.0
+			if n < len(s.coreW) {
+				w = s.coreW[n]
+			}
+			if w == 0 {
+				continue
+			}
+			for i := range out {
+				x := (out[i].Energy - eps) / sigma
+				if x > 8 || x < -8 {
+					continue
+				}
+				out[i].States += 2 * w * norm * math.Exp(-x*x/2)
+			}
+		}
+	}
+	return out
+}
+
+// Frontier holds the global frontier-orbital summary.
+type Frontier struct {
+	HOMO float64 // highest state with occupation ≥ 1
+	LUMO float64 // lowest state with occupation < 1
+	Gap  float64 // LUMO − HOMO (0 for metallic occupations)
+	Mu   float64 // the global chemical potential
+}
+
+// FrontierOrbitals recombines the domain spectra into the global HOMO
+// and LUMO. Call after at least one SCFStep (occupations must exist).
+func (e *Engine) FrontierOrbitals() (Frontier, bool) {
+	type state struct{ eps, occ float64 }
+	var all []state
+	for _, s := range e.solvers {
+		if s.occ == nil {
+			continue
+		}
+		for n, eps := range s.eig {
+			all = append(all, state{eps, s.occ[n]})
+		}
+	}
+	if len(all) == 0 {
+		return Frontier{}, false
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].eps < all[j].eps })
+	f := Frontier{Mu: e.LastMu, HOMO: math.Inf(-1), LUMO: math.Inf(1)}
+	for _, st := range all {
+		if st.occ >= 1 && st.eps > f.HOMO {
+			f.HOMO = st.eps
+		}
+		if st.occ < 1 && st.eps < f.LUMO {
+			f.LUMO = st.eps
+		}
+	}
+	if math.IsInf(f.HOMO, -1) || math.IsInf(f.LUMO, 1) {
+		return f, false
+	}
+	if f.LUMO > f.HOMO {
+		f.Gap = f.LUMO - f.HOMO
+	}
+	return f, true
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ldcdft/internal/atoms"
+)
+
+func TestRecombineDOSAndFrontier(t *testing.T) {
+	sys := atoms.BuildSiC(1)
+	e, err := NewEngine(sys, sicConfig(ModeLDC, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.FrontierOrbitals(); ok {
+		t.Fatal("frontier before any SCF step should be unavailable")
+	}
+	rhoOut, _, err := e.SCFStep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(e.Rho.Data, rhoOut.Data)
+
+	// DOS: total integrated states ≈ total core-weighted state count ×2.
+	dos := e.DensityOfStates(-3, 3, 400, 0.02)
+	if len(dos) != 400 {
+		t.Fatal("bin count")
+	}
+	var integral float64
+	de := dos[1].Energy - dos[0].Energy
+	for _, p := range dos {
+		if p.States < 0 {
+			t.Fatal("negative DOS")
+		}
+		integral += p.States * de
+	}
+	var wsum float64
+	for _, s := range e.solvers {
+		for n := range s.eig {
+			if s.eig[n] > -3 && s.eig[n] < 3 {
+				wsum += 2 * s.coreW[n]
+			}
+		}
+	}
+	if math.Abs(integral-wsum) > 0.05*wsum {
+		t.Fatalf("DOS integral %g vs weighted count %g", integral, wsum)
+	}
+
+	fr, ok := e.FrontierOrbitals()
+	if !ok {
+		t.Fatal("frontier unavailable after SCF step")
+	}
+	if fr.HOMO > fr.Mu+0.2 || fr.LUMO < fr.Mu-0.2 {
+		t.Fatalf("frontier inconsistent with μ: HOMO %g, LUMO %g, μ %g", fr.HOMO, fr.LUMO, fr.Mu)
+	}
+	if fr.Gap < 0 {
+		t.Fatal("negative gap")
+	}
+	// Degenerate inputs.
+	if pts := e.DensityOfStates(-1, 1, 0, 0.01); pts != nil {
+		t.Fatal("zero bins should give nil")
+	}
+}

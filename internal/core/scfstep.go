@@ -1,0 +1,327 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ldcdft/internal/grid"
+	"ldcdft/internal/scf"
+	"ldcdft/internal/xc"
+)
+
+// StepResult carries the diagnostics of one SCF iteration (one pass of
+// the global-local loop in Fig. 2).
+type StepResult struct {
+	Energy      float64
+	Mu          float64
+	MaxDrho     float64 // max |ρ_out − ρ_in|
+	MGCycles    int     // multigrid V-cycles for the global Hartree solve
+	BandCount   int     // total Kohn–Sham states across domains
+	MaxResidual float64
+}
+
+// SolveResult is the outcome of a full SCF solve.
+type SolveResult struct {
+	Energy     float64
+	Mu         float64
+	Iterations int
+	Converged  bool
+	History    []StepResult
+}
+
+// ErrNotConverged is returned when MaxSCF iterations do not reach the
+// configured tolerances.
+var ErrNotConverged = errors.New("core: SCF not converged")
+
+// SCFStep performs one self-consistent-field iteration:
+//
+//  1. Global: V_H[ρ] by multigrid on the global grid; v_xc[ρ] pointwise.
+//  2. Local (parallel over domains): assemble the domain Hamiltonian
+//     Eq. (3) — ionic potential of domain atoms + extracted V_H + v_xc +
+//     (LDC) boundary potential v_bc = (ρα_prev − ρ)/ξ — and refine the
+//     local Kohn–Sham states.
+//  3. Global: chemical potential μ from the core-weighted electron count
+//     (Newton–Raphson, Fig. 2 Eq. (c)).
+//  4. Local → global: domain densities assembled through the partition
+//     of unity into the new global density.
+//
+// The returned density is NOT yet mixed into the engine state; Solve
+// handles mixing and convergence control.
+func (e *Engine) SCFStep() (*grid.Field, StepResult, error) {
+	var res StepResult
+
+	// (1) Global potentials from the current global density.
+	vh, mgres, err := e.mg.SolvePoisson(e.Rho)
+	if err != nil {
+		return nil, res, fmt.Errorf("core: global Hartree: %w", err)
+	}
+	e.lastVH = vh
+	res.MGCycles = mgres.Cycles
+
+	// (2) Domain solves.
+	err = e.parallelDomains(func(s *domainSolver) error {
+		return e.solveDomain(s, vh)
+	})
+	if err != nil {
+		return nil, res, err
+	}
+
+	// (3) Global chemical potential from all domain eigenvalues with
+	// core weights.
+	var eig, w []float64
+	for _, s := range e.solvers {
+		eig = append(eig, s.eig...)
+		w = append(w, s.coreW...)
+		res.BandCount += len(s.eig)
+	}
+	mu, err := WeightedChemicalPotential(eig, w, e.Sys.TotalValence(), e.Cfg.KT)
+	if err != nil {
+		return nil, res, fmt.Errorf("core: chemical potential: %w", err)
+	}
+	res.Mu = mu
+	e.LastMu = mu
+
+	// (4) Occupations, local densities, global assembly.
+	rhoOut := grid.NewField(e.Global)
+	for _, s := range e.solvers {
+		s.occ = scf.Occupations(s.eig, mu, e.Cfg.KT)
+		local := grid.NewField(s.da.Domain.LocalGrid())
+		for n, f := range s.occ {
+			if f == 0 {
+				continue
+			}
+			for i, v := range s.bandRho[n] {
+				local.Data[i] += f * v
+			}
+		}
+		s.rhoLocal = local
+		// Damp the ρα history driving v_bc with the same mixing factor
+		// applied to the global density, so the v_bc = (ρα − ρ)/ξ
+		// difference compares quantities of the same SCF generation; the
+		// raw one-step lag produces a period-2 charge-sloshing
+		// oscillation.
+		alpha := e.Cfg.MixAlpha
+		for i, v := range local.Data {
+			s.rhoPrev.Data[i] = (1-alpha)*s.rhoPrev.Data[i] + alpha*v
+		}
+		s.da.Domain.AccumulateCore(local, rhoOut)
+	}
+
+	res.Energy = e.assembleEnergy(rhoOut, vh)
+	e.LastEnergy = res.Energy
+	e.SCFIters++
+
+	for i := range rhoOut.Data {
+		if d := math.Abs(rhoOut.Data[i] - e.Rho.Data[i]); d > res.MaxDrho {
+			res.MaxDrho = d
+		}
+	}
+	return rhoOut, res, nil
+}
+
+// solveDomain refines one domain's Kohn–Sham states against the current
+// global fields.
+func (e *Engine) solveDomain(s *domainSolver, vh *grid.Field) error {
+	d := s.da.Domain
+	rhoExt := d.Extract(e.Rho)
+	vhExt := d.Extract(vh)
+	size := len(rhoExt.Data)
+	veff := make([]float64, size)
+	invXi := 0.0
+	if e.Cfg.Mode == ModeLDC {
+		invXi = 1 / e.Cfg.Xi
+	}
+	if s.vbc == nil {
+		s.vbc = make([]float64, size)
+	}
+	vps := s.eng.Vps
+	for i := 0; i < size; i++ {
+		s.vbc[i] = (s.rhoPrev.Data[i] - rhoExt.Data[i]) * invXi
+		veff[i] = vps[i] + vhExt.Data[i] + xc.Potential(rhoExt.Data[i]) + s.vbc[i]
+	}
+	s.eng.SetEffectivePotential(veff)
+	eig, err := s.eng.Diagonalize()
+	if err != nil {
+		return fmt.Errorf("core: domain solve: %w", err)
+	}
+	s.eig = eig.Eigenvalues
+
+	// Per-band densities and core weights.
+	b := s.eng.Basis
+	lg := b.Grid
+	nb := s.eng.NumBands()
+	if s.bandRho == nil {
+		s.bandRho = make([][]float64, nb)
+		for n := range s.bandRho {
+			s.bandRho[n] = make([]float64, lg.Size())
+		}
+		s.coreW = make([]float64, nb)
+	}
+	invVol := 1 / b.Volume()
+	scratch := make([]complex128, lg.Size())
+	col := make([]complex128, b.Np())
+	dv := lg.DV()
+	edge := lg.N
+	buf := d.BufN
+	coreN := d.CoreN
+	for n := 0; n < nb; n++ {
+		s.eng.Psi.Col(n, col)
+		b.ToRealSpace(col, scratch)
+		br := s.bandRho[n]
+		for i, v := range scratch {
+			br[i] = (real(v)*real(v) + imag(v)*imag(v)) * invVol
+		}
+		// Core weight w_nα = ∫_core |ψ|² dV.
+		var wsum float64
+		for ix := buf; ix < buf+coreN; ix++ {
+			for iy := buf; iy < buf+coreN; iy++ {
+				base := (ix*edge + iy) * edge
+				for iz := buf; iz < buf+coreN; iz++ {
+					wsum += br[base+iz]
+				}
+			}
+		}
+		s.coreW[n] = wsum * dv
+	}
+	return nil
+}
+
+// assembleEnergy evaluates the LDC total energy with band-energy double-
+// counting corrections:
+//
+//	E = Σ_{α,n} f_n ε_nα w_nα − ½∫V_H ρ + ∫(ε_xc − v_xc)ρ
+//	    − Σ_α ∫_core v_bc ρα + E_ii
+//
+// The band term counts each state's energy weighted by its core fraction
+// (the partition of unity applied to the energy density); the integrals
+// remove the Hartree and XC double counting; the v_bc term removes the
+// boundary potential's contribution to the band energies.
+func (e *Engine) assembleEnergy(rho *grid.Field, vh *grid.Field) float64 {
+	var eBand float64
+	for _, s := range e.solvers {
+		for n, f := range s.occ {
+			eBand += f * s.eig[n] * s.coreW[n]
+		}
+	}
+	dv := e.Global.DV()
+	var eH, eXC float64
+	for i, r := range rho.Data {
+		eH += 0.5 * vh.Data[i] * r
+		eXC += (xc.EnergyDensity(r) - xc.Potential(r)) * r
+	}
+	eH *= dv
+	eXC *= dv
+	// Boundary-potential double counting (LDC only): subtract
+	// Σ_α ∫_core v_bc(r) ρα(r) dr using the v_bc each domain actually
+	// applied and the local density its bands produced.
+	var eBC float64
+	if e.Cfg.Mode == ModeLDC {
+		for _, s := range e.solvers {
+			if s.vbc == nil || s.rhoLocal == nil {
+				continue
+			}
+			d := s.da.Domain
+			edge := d.EdgeN()
+			ldv := s.rhoLocal.Grid.DV()
+			for ix := d.BufN; ix < d.BufN+d.CoreN; ix++ {
+				for iy := d.BufN; iy < d.BufN+d.CoreN; iy++ {
+					base := (ix*edge + iy) * edge
+					for iz := d.BufN; iz < d.BufN+d.CoreN; iz++ {
+						i := base + iz
+						eBC += s.vbc[i] * s.rhoLocal.Data[i] * ldv
+					}
+				}
+			}
+		}
+	}
+	eII := e.ionIonEnergy()
+	return eBand - eH + eXC - eBC + eII
+}
+
+// Solve iterates SCFStep with density mixing until the energy and
+// density tolerances are met.
+func (e *Engine) Solve() (*SolveResult, error) {
+	out := &SolveResult{}
+	prevE := math.Inf(1)
+	e.mixer.Reset()
+	for iter := 1; iter <= e.Cfg.MaxSCF; iter++ {
+		rhoOut, step, err := e.SCFStep()
+		if err != nil {
+			return out, err
+		}
+		out.History = append(out.History, step)
+		out.Energy = step.Energy
+		out.Mu = step.Mu
+		out.Iterations = iter
+		if math.Abs(step.Energy-prevE) < e.Cfg.EnergyTol && step.MaxDrho < e.Cfg.DensityTol {
+			out.Converged = true
+			e.Rho = rhoOut
+			return out, nil
+		}
+		prevE = step.Energy
+		mixed := e.mixer.Mix(e.Rho.Data, rhoOut.Data)
+		copy(e.Rho.Data, mixed)
+	}
+	return out, ErrNotConverged
+}
+
+// WeightedChemicalPotential solves Σ_i f(ε_i, μ)·w_i = nelec — the DC
+// electron-count equation where each Kohn–Sham state contributes its
+// core weight w_i (Fig. 2 Eq. (c) with the partition of unity applied).
+func WeightedChemicalPotential(eps, w []float64, nelec, kT float64) (float64, error) {
+	if len(eps) == 0 || len(eps) != len(w) {
+		return 0, scf.ErrChemicalPotential
+	}
+	var capacity float64
+	lo, hi := eps[0], eps[0]
+	for i, e := range eps {
+		capacity += 2 * w[i]
+		if e < lo {
+			lo = e
+		}
+		if e > hi {
+			hi = e
+		}
+	}
+	if nelec < 0 || nelec > capacity+1e-9 {
+		return 0, scf.ErrChemicalPotential
+	}
+	pad := 10*kT + 1
+	lo -= pad
+	hi += pad
+	count := func(mu float64) (n, dn float64) {
+		for i, e := range eps {
+			f := scf.FermiOccupation(e, mu, kT)
+			n += f * w[i]
+			if kT > 0 {
+				dn += w[i] * f * (2 - f) / (2 * kT)
+			}
+		}
+		return
+	}
+	mu := 0.5 * (lo + hi)
+	for iter := 0; iter < 200; iter++ {
+		n, dn := count(mu)
+		diff := n - nelec
+		if math.Abs(diff) < 1e-10*(1+nelec) {
+			return mu, nil
+		}
+		if diff > 0 {
+			hi = mu
+		} else {
+			lo = mu
+		}
+		if dn > 1e-14 {
+			if step := mu - diff/dn; step > lo && step < hi {
+				mu = step
+				continue
+			}
+		}
+		mu = 0.5 * (lo + hi)
+	}
+	if hi-lo < 1e-12 {
+		return 0.5 * (lo + hi), nil
+	}
+	return 0, scf.ErrChemicalPotential
+}

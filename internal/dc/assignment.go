@@ -1,0 +1,146 @@
+package dc
+
+import (
+	"fmt"
+
+	"ldcdft/internal/atoms"
+	"ldcdft/internal/geom"
+	"ldcdft/internal/grid"
+)
+
+// DomainAtoms lists the atoms participating in one domain's local
+// Kohn–Sham problem: every atom whose (periodically wrapped) position
+// falls inside the extended domain Ωα, with positions re-expressed in the
+// local cell frame. Core atoms (inside Ω0α) are flagged — forces and
+// per-atom properties are owned by exactly one core.
+type DomainAtoms struct {
+	Domain    grid.Domain
+	Index     []int // global atom indices
+	Species   []*atoms.Species
+	Local     []geom.Vec3 // positions relative to the extended-domain origin
+	InCore    []bool
+	CoreCount int
+}
+
+// Valence returns the total valence charge of the domain's atoms.
+func (d *DomainAtoms) Valence() float64 {
+	var z float64
+	for _, sp := range d.Species {
+		z += sp.Valence
+	}
+	return z
+}
+
+// AssignAtoms distributes the system's atoms over the DC domains. Every
+// atom must land in exactly one core; it may additionally appear in the
+// buffers of neighbouring domains. An error is returned if the extended
+// domain exceeds the global cell (buffers may not wrap onto themselves).
+func AssignAtoms(sys *atoms.System, domains []grid.Domain) ([]*DomainAtoms, error) {
+	if len(domains) == 0 {
+		return nil, fmt.Errorf("dc: no domains")
+	}
+	gg := domains[0].Global
+	if gg.L != sys.Cell.L {
+		return nil, fmt.Errorf("dc: grid cell %g != system cell %g", gg.L, sys.Cell.L)
+	}
+	edge := float64(domains[0].EdgeN()) * gg.H()
+	if edge > gg.L+1e-9 {
+		return nil, fmt.Errorf("dc: extended domain (%g) exceeds cell (%g); reduce the buffer", edge, gg.L)
+	}
+	out := make([]*DomainAtoms, len(domains))
+	coreOwner := make([]int, sys.NumAtoms())
+	for i := range coreOwner {
+		coreOwner[i] = -1
+	}
+	h := gg.H()
+	// Membership uses exact integer grid-cell arithmetic: atom in grid
+	// cell g belongs to a domain's core iff g ∈ [O, O+CoreN) and to its
+	// extended region iff g ∈ [O−BufN, O+CoreN+BufN), all modulo N.
+	// Float comparisons against the domain edges would make atoms sitting
+	// exactly on a boundary belong to no core (or two).
+	cellIndex := func(x float64) int {
+		g := int(x / h)
+		if g >= gg.N {
+			g -= gg.N
+		}
+		if g < 0 {
+			g += gg.N
+		}
+		return g
+	}
+	inRange := func(g, lo, n int) bool {
+		// g ∈ [lo, lo+n) modulo N.
+		d := g - lo
+		for d < 0 {
+			d += gg.N
+		}
+		for d >= gg.N {
+			d -= gg.N
+		}
+		return d < n
+	}
+	for di, d := range domains {
+		da := &DomainAtoms{Domain: d}
+		origin := d.Origin() // may have negative components
+		for ai, a := range sys.Atoms {
+			p := sys.Cell.Wrap(a.Position)
+			gx := cellIndex(p.X)
+			gy := cellIndex(p.Y)
+			gz := cellIndex(p.Z)
+			extLo := func(o int) int { return o - d.BufN }
+			if !inRange(gx, extLo(d.Ox), d.EdgeN()) ||
+				!inRange(gy, extLo(d.Oy), d.EdgeN()) ||
+				!inRange(gz, extLo(d.Oz), d.EdgeN()) {
+				continue
+			}
+			core := inRange(gx, d.Ox, d.CoreN) &&
+				inRange(gy, d.Oy, d.CoreN) &&
+				inRange(gz, d.Oz, d.CoreN)
+			// Local coordinate in [0, edge): displacement from the
+			// extended origin, wrapped into the global cell and clamped
+			// against boundary round-off.
+			loc := geom.Vec3{
+				X: clampCoord(wrapCoord(p.X-origin.X, gg.L), edge),
+				Y: clampCoord(wrapCoord(p.Y-origin.Y, gg.L), edge),
+				Z: clampCoord(wrapCoord(p.Z-origin.Z, gg.L), edge),
+			}
+			da.Index = append(da.Index, ai)
+			da.Species = append(da.Species, a.Species)
+			da.Local = append(da.Local, loc)
+			da.InCore = append(da.InCore, core)
+			if core {
+				da.CoreCount++
+				if coreOwner[ai] >= 0 {
+					return nil, fmt.Errorf("dc: atom %d in cores of domains %d and %d", ai, coreOwner[ai], di)
+				}
+				coreOwner[ai] = di
+			}
+		}
+		out[di] = da
+	}
+	for ai, owner := range coreOwner {
+		if owner < 0 {
+			return nil, fmt.Errorf("dc: atom %d not in any core", ai)
+		}
+	}
+	return out, nil
+}
+
+// clampCoord nudges a wrapped coordinate that lands exactly on (or a
+// round-off above) the extended-domain edge back inside [0, edge).
+func clampCoord(x, edge float64) float64 {
+	if x >= edge {
+		return edge * (1 - 1e-12)
+	}
+	return x
+}
+
+func wrapCoord(x, l float64) float64 {
+	for x < 0 {
+		x += l
+	}
+	for x >= l {
+		x -= l
+	}
+	return x
+}

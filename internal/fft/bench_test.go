@@ -1,0 +1,76 @@
+package fft
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchVec(n int) []complex128 {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+// The §4.2 FFT ablation: tuned transform paths vs the naive reference
+// (the role FFTW-unvectorized vs Spiral played on Blue Gene/Q).
+func BenchmarkForwardPow2(b *testing.B) {
+	p := NewPlan(64)
+	x := benchVec(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Forward(x)
+	}
+}
+
+func BenchmarkForwardMixedRadix(b *testing.B) {
+	p := NewPlan(60) // 2²·3·5
+	x := benchVec(60)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Forward(x)
+	}
+}
+
+func BenchmarkForwardBluestein(b *testing.B) {
+	p := NewPlan(macroPrime)
+	x := benchVec(macroPrime)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Forward(x)
+	}
+}
+
+// macroPrime is a prime above both the dense and smooth limits.
+const macroPrime = 101
+
+func BenchmarkSlowDFTReference(b *testing.B) {
+	x := benchVec(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SlowDFT(x)
+	}
+}
+
+func BenchmarkPlan3Domain18(b *testing.B) {
+	// The typical LDC domain grid (core 12 + 2×3 buffer).
+	p := NewPlan3(18, 18, 18)
+	x := benchVec(p.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Forward(x)
+		p.Inverse(x)
+	}
+}
+
+func BenchmarkPlan3Pow2_32(b *testing.B) {
+	p := NewPlan3(32, 32, 32)
+	x := benchVec(p.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Forward(x)
+		p.Inverse(x)
+	}
+}

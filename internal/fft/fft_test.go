@@ -1,0 +1,216 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randVec(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func maxDiff(a, b []complex128) float64 {
+	var m float64
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestForwardMatchesSlowDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 12, 16, 30, 64, 100, 128} {
+		x := randVec(rng, n)
+		want := SlowDFT(x)
+		got := append([]complex128(nil), x...)
+		NewPlan(n).Forward(got)
+		if d := maxDiff(got, want); d > 1e-9*float64(n) {
+			t.Fatalf("n=%d: forward differs from slow DFT by %g", n, d)
+		}
+	}
+}
+
+func TestInverseMatchesSlowIDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 4, 6, 9, 16, 27, 64} {
+		x := randVec(rng, n)
+		want := SlowIDFT(x)
+		got := append([]complex128(nil), x...)
+		NewPlan(n).Inverse(got)
+		if d := maxDiff(got, want); d > 1e-9*float64(n) {
+			t.Fatalf("n=%d: inverse differs from slow IDFT by %g", n, d)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 8, 13, 64, 81, 256, 1000} {
+		p := NewPlan(n)
+		x := randVec(rng, n)
+		orig := append([]complex128(nil), x...)
+		p.Forward(x)
+		p.Inverse(x)
+		if d := maxDiff(x, orig); d > 1e-9*float64(n) {
+			t.Fatalf("n=%d: roundtrip error %g", n, d)
+		}
+	}
+}
+
+// Property: Parseval's theorem — Σ|x|² == (1/n)Σ|X|².
+func TestParsevalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		x := randVec(rng, n)
+		var inEnergy float64
+		for _, v := range x {
+			inEnergy += real(v)*real(v) + imag(v)*imag(v)
+		}
+		NewPlan(n).Forward(x)
+		var outEnergy float64
+		for _, v := range x {
+			outEnergy += real(v)*real(v) + imag(v)*imag(v)
+		}
+		outEnergy /= float64(n)
+		return math.Abs(inEnergy-outEnergy) < 1e-8*(1+inEnergy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: linearity — FFT(a·x + y) == a·FFT(x) + FFT(y).
+func TestLinearityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(64)
+		p := NewPlan(n)
+		x := randVec(rng, n)
+		y := randVec(rng, n)
+		a := complex(rng.NormFloat64(), rng.NormFloat64())
+		combo := make([]complex128, n)
+		for i := range combo {
+			combo[i] = a*x[i] + y[i]
+		}
+		p.Forward(combo)
+		p.Forward(x)
+		p.Forward(y)
+		for i := range combo {
+			if cmplx.Abs(combo[i]-(a*x[i]+y[i])) > 1e-8*float64(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeltaFunction(t *testing.T) {
+	// FFT of a delta at 0 is all ones.
+	n := 32
+	x := make([]complex128, n)
+	x[0] = 1
+	NewPlan(n).Forward(x)
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("delta transform at %d: %v", i, v)
+		}
+	}
+}
+
+func TestPlaneWaveOrthogonality(t *testing.T) {
+	// FFT of e^{2πi k0 j / n} is n·delta at k0 (forward uses e^{-};
+	// so the peak lands at k0).
+	n := 64
+	k0 := 5
+	x := make([]complex128, n)
+	for j := range x {
+		ang := 2 * math.Pi * float64(k0) * float64(j) / float64(n)
+		x[j] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	NewPlan(n).Forward(x)
+	for k, v := range x {
+		want := complex128(0)
+		if k == k0 {
+			want = complex(float64(n), 0)
+		}
+		if cmplx.Abs(v-want) > 1e-9*float64(n) {
+			t.Fatalf("plane-wave transform at k=%d: %v", k, v)
+		}
+	}
+}
+
+func TestPlan3RoundTripAndDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, shape := range [][3]int{{4, 4, 4}, {8, 4, 2}, {3, 5, 7}, {16, 16, 16}} {
+		p := NewPlan3(shape[0], shape[1], shape[2])
+		x := randVec(rng, p.Size())
+		orig := append([]complex128(nil), x...)
+		p.Forward(x)
+		p.Inverse(x)
+		if d := maxDiff(x, orig); d > 1e-8 {
+			t.Fatalf("shape %v roundtrip error %g", shape, d)
+		}
+		// Delta at origin -> constant spectrum.
+		y := make([]complex128, p.Size())
+		y[0] = 1
+		p.Forward(y)
+		for i, v := range y {
+			if cmplx.Abs(v-1) > 1e-10 {
+				t.Fatalf("shape %v delta at %d: %v", shape, i, v)
+			}
+		}
+	}
+}
+
+func TestPlan3MatchesSeparableSlowDFT(t *testing.T) {
+	// Verify the 3-D transform against direct triple summation on a tiny
+	// grid.
+	nx, ny, nz := 3, 2, 4
+	rng := rand.New(rand.NewSource(5))
+	p := NewPlan3(nx, ny, nz)
+	x := randVec(rng, p.Size())
+	want := make([]complex128, len(x))
+	for kx := 0; kx < nx; kx++ {
+		for ky := 0; ky < ny; ky++ {
+			for kz := 0; kz < nz; kz++ {
+				var s complex128
+				for jx := 0; jx < nx; jx++ {
+					for jy := 0; jy < ny; jy++ {
+						for jz := 0; jz < nz; jz++ {
+							ang := -2 * math.Pi * (float64(kx*jx)/float64(nx) +
+								float64(ky*jy)/float64(ny) + float64(kz*jz)/float64(nz))
+							s += x[(jx*ny+jy)*nz+jz] * complex(math.Cos(ang), math.Sin(ang))
+						}
+					}
+				}
+				want[(kx*ny+ky)*nz+kz] = s
+			}
+		}
+	}
+	p.Forward(x)
+	if d := maxDiff(x, want); d > 1e-9 {
+		t.Fatalf("3-D transform differs from direct sum by %g", d)
+	}
+}
+
+func TestNewPlanPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n=0")
+		}
+	}()
+	NewPlan(0)
+}

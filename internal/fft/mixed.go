@@ -1,0 +1,162 @@
+package fft
+
+import (
+	"math"
+	"sync"
+)
+
+// mixedFFT is a recursive mixed-radix Cooley–Tukey transform for lengths
+// whose prime factors are all small (≤ maxMixedFactor). Domain grids in
+// LDC-DFT are rarely powers of two (core + 2·buffer points), so smooth
+// composite lengths like 18, 20, 24 are the common case.
+type mixedFFT struct {
+	n    int
+	fwd  []complex128 // fwd[k] = e^{-2πik/n}
+	inv  []complex128 // conjugate table
+	pool sync.Pool    // scratch buffers, 2n each
+}
+
+// maxMixedFactor bounds the direct-DFT base case of the recursion.
+const maxMixedFactor = 13
+
+// smoothLength reports whether all prime factors of n are ≤ maxMixedFactor.
+func smoothLength(n int) bool {
+	for f := 2; f <= maxMixedFactor && n > 1; f++ {
+		for n%f == 0 {
+			n /= f
+		}
+	}
+	return n == 1
+}
+
+func newMixedFFT(n int) *mixedFFT {
+	m := &mixedFFT{n: n}
+	m.fwd = make([]complex128, n)
+	m.inv = make([]complex128, n)
+	for k := 0; k < n; k++ {
+		ang := -2 * math.Pi * float64(k) / float64(n)
+		m.fwd[k] = complex(math.Cos(ang), math.Sin(ang))
+		m.inv[k] = complex(math.Cos(ang), -math.Sin(ang))
+	}
+	m.pool.New = func() any { return make([]complex128, 2*n) }
+	return m
+}
+
+func (m *mixedFFT) transform(x []complex128, inverse bool) {
+	buf := m.pool.Get().([]complex128)
+	dst := buf[:m.n]
+	scratch := buf[m.n:]
+	roots := m.fwd
+	if inverse {
+		roots = m.inv
+	}
+	m.rec(x, 1, dst, scratch, m.n, roots)
+	copy(x, dst)
+	m.pool.Put(buf)
+}
+
+// rec computes the n-point DFT of src[0], src[s], …, src[(n-1)s] into
+// dst[0:n] using the given root table. scratch (len ≥ n) may be
+// clobbered.
+func (m *mixedFFT) rec(src []complex128, s int, dst, scratch []complex128, n int, roots []complex128) {
+	if n == 1 {
+		dst[0] = src[0]
+		return
+	}
+	r := smallestPrimeFactor(n)
+	N := m.n
+	if r == n {
+		// Prime base case: direct DFT with incremental index arithmetic.
+		step := N / n
+		for k := 0; k < n; k++ {
+			acc := src[0]
+			idx := 0
+			kstep := k * step
+			for j := 1; j < n; j++ {
+				idx += kstep
+				if idx >= N {
+					idx -= N
+				}
+				acc += src[j*s] * roots[idx]
+			}
+			dst[k] = acc
+		}
+		return
+	}
+	q := n / r
+	// Decimation in time: sub-DFTs of the r interleaved subsequences.
+	for i := 0; i < r; i++ {
+		m.rec(src[i*s:], s*r, dst[i*q:], scratch, q, roots)
+	}
+	stepN := N / n
+	if r == 2 {
+		// Explicit radix-2 butterfly: X[k] = Y0[k] + ω^k Y1[k],
+		// X[k+q] = Y0[k] − ω^k Y1[k].
+		idx := 0
+		for k := 0; k < q; k++ {
+			a := dst[k]
+			b := roots[idx] * dst[q+k]
+			dst[k] = a + b
+			scratch[k] = a - b
+			idx += stepN
+		}
+		copy(dst[q:n], scratch[:q])
+		return
+	}
+	if r == 3 {
+		// Explicit radix-3 butterfly with ω₃ = e^{∓2πi/3}.
+		w3 := roots[N/3]
+		w3sq := w3 * w3
+		i1, i2 := 0, 0
+		for k := 0; k < q; k++ {
+			a := dst[k]
+			b := roots[i1] * dst[q+k]
+			c := roots[i2] * dst[2*q+k]
+			dst[k] = a + b + c
+			scratch[k] = a + w3*b + w3sq*c
+			scratch[q+k] = a + w3sq*b + w3*c
+			i1 += stepN
+			i2 += 2 * stepN
+			if i2 >= N {
+				i2 -= N
+			}
+		}
+		copy(dst[q:n], scratch[:2*q])
+		return
+	}
+	// Generic combine: X[k + t·q] = Σ_i ω_n^{ik} ω_r^{it} Y_i[k].
+	stepR := N / r
+	for k := 0; k < q; k++ {
+		kN := k * stepN
+		for t := 0; t < r; t++ {
+			acc := dst[k] // i = 0 term: both twiddles are 1
+			idx := 0
+			inc := kN + t*stepR
+			for inc >= N {
+				inc -= N
+			}
+			for i := 1; i < r; i++ {
+				idx += inc
+				if idx >= N {
+					idx -= N
+				}
+				acc += roots[idx] * dst[i*q+k]
+			}
+			scratch[k+t*q] = acc
+		}
+	}
+	copy(dst[:n], scratch[:n])
+}
+
+// smallestPrimeFactor returns the least prime factor of n (n ≥ 2).
+func smallestPrimeFactor(n int) int {
+	if n%2 == 0 {
+		return 2
+	}
+	for f := 3; f*f <= n; f += 2 {
+		if n%f == 0 {
+			return f
+		}
+	}
+	return n
+}

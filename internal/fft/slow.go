@@ -1,0 +1,42 @@
+package fft
+
+import (
+	"math"
+
+	"ldcdft/internal/perf"
+)
+
+// SlowDFT computes the forward DFT by direct O(n²) summation. It is the
+// "commodity, non-vectorized library" stand-in of the §4.2 ablation (the
+// role the unvectorized FFTW build played on Blue Gene/Q before the
+// switch to Spiral) and the correctness reference for Plan.
+func SlowDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			s += x[j] * complex(math.Cos(ang), math.Sin(ang))
+		}
+		out[k] = s
+	}
+	perf.Global.AddScalar(8 * int64(n) * int64(n))
+	return out
+}
+
+// SlowIDFT computes the inverse DFT (with 1/n) by direct summation.
+func SlowIDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			ang := 2 * math.Pi * float64(k) * float64(j) / float64(n)
+			s += x[j] * complex(math.Cos(ang), math.Sin(ang))
+		}
+		out[k] = s / complex(float64(n), 0)
+	}
+	perf.Global.AddScalar(8 * int64(n) * int64(n))
+	return out
+}

@@ -1,0 +1,52 @@
+// Package kern measures the real sustained throughput of this build's
+// numerical kernels — the host-measurement half of the Table 1
+// reproduction (the modelled half is perf.Table1Model).
+package kern
+
+import (
+	"math/rand"
+	"runtime"
+	"time"
+
+	"ldcdft/internal/fft"
+	"ldcdft/internal/linalg"
+	"ldcdft/internal/perf"
+)
+
+// KernelRate measures the REAL sustained GFLOP/s of this build's core
+// numerical kernels (blocked parallel GEMM + batched FFT) with the given
+// worker count — the host-measurement half of the Table 1 reproduction
+// (the modelled half is Table1Model). The measurement runs for roughly
+// the given duration.
+func KernelRate(workers int, duration time.Duration) float64 {
+	if workers > 0 {
+		old := runtime.GOMAXPROCS(workers)
+		defer runtime.GOMAXPROCS(old)
+	}
+	rng := rand.New(rand.NewSource(42))
+	const n = 256
+	a := linalg.NewMatrix(n, n)
+	b := linalg.NewMatrix(n, n)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+		b.Data[i] = rng.NormFloat64()
+	}
+	c := linalg.NewMatrix(n, n)
+	plan := fft.NewPlan3(32, 32, 32)
+	sig := make([]complex128, plan.Size())
+	for i := range sig {
+		sig[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	perf.Global.Reset()
+	start := time.Now()
+	for time.Since(start) < duration {
+		linalg.Gemm(linalg.GemmParallel, a, b, c)
+		plan.Forward(sig)
+		plan.Inverse(sig)
+	}
+	elapsed := time.Since(start).Seconds()
+	if elapsed == 0 {
+		return 0
+	}
+	return float64(perf.Global.Total()) / elapsed / 1e9
+}

@@ -1,0 +1,27 @@
+package kern
+
+import (
+	"testing"
+	"time"
+)
+
+func TestKernelRatePositive(t *testing.T) {
+	rate := KernelRate(2, 50*time.Millisecond)
+	if rate <= 0 {
+		t.Fatalf("kernel rate %g", rate)
+	}
+}
+
+func TestKernelRateScalesWithWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	r1 := KernelRate(1, 150*time.Millisecond)
+	r4 := KernelRate(4, 150*time.Millisecond)
+	if r4 < r1 {
+		t.Logf("warning: 4 workers (%.1f GF) not faster than 1 (%.1f GF) — loaded host?", r4, r1)
+	}
+	if r4 <= 0 || r1 <= 0 {
+		t.Fatal("rates must be positive")
+	}
+}

@@ -1,0 +1,87 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchCMatrix(r, c int) *CMatrix {
+	rng := rand.New(rand.NewSource(1))
+	m := NewCMatrix(r, c)
+	for i := range m.Data {
+		m.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return m
+}
+
+func BenchmarkCGemm(b *testing.B) {
+	a := benchCMatrix(256, 256)
+	x := benchCMatrix(256, 32)
+	c := NewCMatrix(256, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CGemm(a, x, c)
+	}
+}
+
+func BenchmarkCGemmCTOverlap(b *testing.B) {
+	// The §3.3 overlap-matrix construction S = Ψ†Ψ.
+	psi := benchCMatrix(1024, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CGemmCT(psi, psi)
+	}
+}
+
+func BenchmarkCholeskyHermitian(b *testing.B) {
+	psi := benchCMatrix(256, 48)
+	s := CGemmCT(psi, psi)
+	for i := 0; i < 48; i++ {
+		s.Set(i, i, s.At(i, i)+48)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CholeskyHermitian(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHermitianEigen(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	n := 48
+	h := NewCMatrix(n, n)
+	for i := 0; i < n; i++ {
+		h.Set(i, i, complex(rng.NormFloat64(), 0))
+		for j := i + 1; j < n; j++ {
+			v := complex(rng.NormFloat64(), rng.NormFloat64())
+			h.Set(i, j, v)
+			h.Set(j, i, complex(real(v), -imag(v)))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := HermitianEigen(h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEigenSym(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	n := 64
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := EigenSym(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

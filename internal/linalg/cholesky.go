@@ -1,0 +1,109 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+
+	"ldcdft/internal/perf"
+)
+
+// ErrNotPositiveDefinite is returned by Cholesky when the input matrix is
+// not (numerically) symmetric positive definite.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite")
+
+// Cholesky computes the lower-triangular factor L with A = L*Lᵀ for a
+// symmetric positive-definite A. Only the lower triangle of A is read.
+// The returned matrix has zeros above the diagonal.
+//
+// The paper parallelizes the Cholesky factorization of the Kohn–Sham
+// overlap matrix across the domain communicator (§3.3); here the
+// factorization of the (small, N_band × N_band) overlap matrix is serial
+// and the surrounding GEMMs carry the parallelism, matching the actual
+// work distribution.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, ErrDimension
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		lrowj := l.Row(j)
+		for k := 0; k < j; k++ {
+			d -= lrowj[k] * lrowj[k]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPositiveDefinite
+		}
+		dj := math.Sqrt(d)
+		l.Set(j, j, dj)
+		inv := 1 / dj
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			lrowi := l.Row(i)
+			for k := 0; k < j; k++ {
+				s -= lrowi[k] * lrowj[k]
+			}
+			l.Set(i, j, s*inv)
+		}
+	}
+	perf.Global.AddVector(int64(n) * int64(n) * int64(n) / 3)
+	return l, nil
+}
+
+// SolveLower solves L*x = b for lower-triangular L, overwriting b with x.
+func SolveLower(l *Matrix, b []float64) {
+	n := l.Rows
+	if len(b) != n {
+		panic(ErrDimension)
+	}
+	for i := 0; i < n; i++ {
+		row := l.Row(i)
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= row[k] * b[k]
+		}
+		b[i] = s / row[i]
+	}
+}
+
+// SolveLowerT solves Lᵀ*x = b for lower-triangular L, overwriting b.
+func SolveLowerT(l *Matrix, b []float64) {
+	n := l.Rows
+	if len(b) != n {
+		panic(ErrDimension)
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * b[k]
+		}
+		b[i] = s / l.At(i, i)
+	}
+}
+
+// InvLower returns the inverse of a lower-triangular matrix L as a
+// lower-triangular matrix.
+func InvLower(l *Matrix) *Matrix {
+	n := l.Rows
+	inv := NewMatrix(n, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		SolveLower(l, e)
+		for i := j; i < n; i++ {
+			inv.Set(i, j, e[i])
+		}
+	}
+	return inv
+}
+
+// CholeskySolve solves A*x = b given the Cholesky factor L of A,
+// overwriting b with x.
+func CholeskySolve(l *Matrix, b []float64) {
+	SolveLower(l, b)
+	SolveLowerT(l, b)
+}

@@ -1,0 +1,113 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randSPD builds a random symmetric positive-definite matrix A = MᵀM + nI.
+func randSPD(rng *rand.Rand, n int) *Matrix {
+	m := randMatrix(rng, n, n)
+	a := MatTMul(m, m)
+	for i := 0; i < n; i++ {
+		a.Add(i, i, float64(n))
+	}
+	return a
+}
+
+func TestCholeskyReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, n := range []int{1, 2, 5, 20, 50} {
+		a := randSPD(rng, n)
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		rec := MatMulT(l, l)
+		if !Equalish(a, rec, 1e-8*float64(n)) {
+			t.Fatalf("n=%d: LLᵀ != A", n)
+		}
+		// Upper triangle of L must be zero.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if l.At(i, j) != 0 {
+					t.Fatalf("L has nonzero above diagonal at (%d,%d)", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, -1)
+	if _, err := Cholesky(a); err == nil {
+		t.Fatal("expected error for indefinite matrix")
+	}
+	b := NewMatrix(2, 3)
+	if _, err := Cholesky(b); err == nil {
+		t.Fatal("expected error for non-square matrix")
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 16
+	a := randSPD(rng, n)
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b := make([]float64, n)
+	Gemv(a, x, b)
+	CholeskySolve(l, b)
+	for i := range x {
+		if math.Abs(b[i]-x[i]) > 1e-8 {
+			t.Fatalf("solve mismatch at %d: %g vs %g", i, b[i], x[i])
+		}
+	}
+}
+
+func TestInvLower(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := randSPD(rng, 10)
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := InvLower(l)
+	prod := MatMul(l, inv)
+	if !Equalish(prod, Eye(10), 1e-9) {
+		t.Fatal("L * L⁻¹ != I")
+	}
+}
+
+// Property: for any SPD matrix, Cholesky succeeds and the factor has
+// positive diagonal.
+func TestCholeskyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(15)
+		a := randSPD(rng, n)
+		l, err := Cholesky(a)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if l.At(i, i) <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

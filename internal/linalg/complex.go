@@ -1,0 +1,392 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"runtime"
+	"sync"
+
+	"ldcdft/internal/perf"
+)
+
+// CMatrix is a dense, row-major complex matrix. In the plane-wave solver
+// a CMatrix with Rows = Np (plane waves) and Cols = Nband holds the packed
+// Kohn–Sham wave functions Ψ of Eq. (5).
+type CMatrix struct {
+	Rows, Cols int
+	Data       []complex128
+}
+
+// NewCMatrix returns a zeroed r×c complex matrix.
+func NewCMatrix(r, c int) *CMatrix {
+	return &CMatrix{Rows: r, Cols: c, Data: make([]complex128, r*c)}
+}
+
+// At returns element (i, j).
+func (m *CMatrix) At(i, j int) complex128 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *CMatrix) Set(i, j int, v complex128) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i.
+func (m *CMatrix) Row(i int) []complex128 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *CMatrix) Clone() *CMatrix {
+	out := NewCMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Col extracts column j into dst (len Rows) and returns it; dst may be nil.
+func (m *CMatrix) Col(j int, dst []complex128) []complex128 {
+	if dst == nil {
+		dst = make([]complex128, m.Rows)
+	}
+	for i := 0; i < m.Rows; i++ {
+		dst[i] = m.Data[i*m.Cols+j]
+	}
+	return dst
+}
+
+// SetCol stores src (len Rows) into column j.
+func (m *CMatrix) SetCol(j int, src []complex128) {
+	for i := 0; i < m.Rows; i++ {
+		m.Data[i*m.Cols+j] = src[i]
+	}
+}
+
+// CDot returns ⟨x|y⟩ = Σ conj(x_i) y_i.
+func CDot(x, y []complex128) complex128 {
+	if len(x) != len(y) {
+		panic(ErrDimension)
+	}
+	var s complex128
+	for i, v := range x {
+		s += cmplx.Conj(v) * y[i]
+	}
+	perf.Global.AddVector(8 * int64(len(x)))
+	return s
+}
+
+// CNorm2 returns the Euclidean norm of x.
+func CNorm2(x []complex128) float64 {
+	var s float64
+	for _, v := range x {
+		s += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return math.Sqrt(s)
+}
+
+// CAxpy computes y += a*x.
+func CAxpy(a complex128, x, y []complex128) {
+	if len(x) != len(y) {
+		panic(ErrDimension)
+	}
+	for i, v := range x {
+		y[i] += a * v
+	}
+	perf.Global.AddVector(8 * int64(len(x)))
+}
+
+// CScale multiplies x by a in place.
+func CScale(a complex128, x []complex128) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// CGemm computes C = A*B for complex matrices with cache blocking and
+// row-panel parallelism. It is the ZGEMM analog used by the all-band
+// (BLAS3) code path of §3.4.
+func CGemm(a, b, c *CMatrix) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(ErrDimension)
+	}
+	for i := range c.Data {
+		c.Data[i] = 0
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	if workers <= 1 || int64(a.Rows)*int64(a.Cols)*int64(b.Cols) < 32*32*32 {
+		cgemmRange(a, b, c, 0, a.Rows)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (a.Rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		r0 := w * chunk
+		r1 := min(r0+chunk, a.Rows)
+		if r0 >= r1 {
+			break
+		}
+		wg.Add(1)
+		go func(r0, r1 int) {
+			defer wg.Done()
+			cgemmRange(a, b, c, r0, r1)
+		}(r0, r1)
+	}
+	wg.Wait()
+}
+
+func cgemmRange(a, b, c *CMatrix, r0, r1 int) {
+	n, p := a.Cols, b.Cols
+	for i := r0; i < r1; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for k := 0; k < n; k++ {
+			av := arow[k]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*p : (k+1)*p]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	perf.Global.AddVector(8 * int64(r1-r0) * int64(n) * int64(p))
+}
+
+// CGemmCT computes C = A† * B (conjugate-transpose of A times B).
+// With A = B = Ψ this yields the Nband×Nband overlap matrix S = Ψ†Ψ of
+// §3.3 ("constructing an overlap matrix ... using reciprocal-space
+// decomposition").
+func CGemmCT(a, b *CMatrix) *CMatrix {
+	if a.Rows != b.Rows {
+		panic(ErrDimension)
+	}
+	c := NewCMatrix(a.Cols, b.Cols)
+	var mu sync.Mutex
+	workers := runtime.GOMAXPROCS(0)
+	rows := a.Rows
+	if workers > rows {
+		workers = rows
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		k0 := w * chunk
+		k1 := min(k0+chunk, rows)
+		if k0 >= k1 {
+			break
+		}
+		wg.Add(1)
+		go func(k0, k1 int) {
+			defer wg.Done()
+			local := NewCMatrix(a.Cols, b.Cols)
+			for k := k0; k < k1; k++ {
+				arow := a.Row(k)
+				brow := b.Row(k)
+				for i, av := range arow {
+					ca := cmplx.Conj(av)
+					lrow := local.Row(i)
+					for j, bv := range brow {
+						lrow[j] += ca * bv
+					}
+				}
+			}
+			mu.Lock()
+			for i, v := range local.Data {
+				c.Data[i] += v
+			}
+			mu.Unlock()
+		}(k0, k1)
+	}
+	wg.Wait()
+	perf.Global.AddVector(8 * int64(a.Cols) * int64(b.Cols) * int64(rows))
+	return c
+}
+
+// ErrNotHermitianPD is returned by CholeskyHermitian for non-positive-
+// definite input.
+var ErrNotHermitianPD = errors.New("linalg: matrix is not Hermitian positive definite")
+
+// CholeskyHermitian computes the lower factor L with A = L*L† for a
+// Hermitian positive-definite A (e.g. the wave-function overlap matrix).
+func CholeskyHermitian(a *CMatrix) (*CMatrix, error) {
+	if a.Rows != a.Cols {
+		return nil, ErrDimension
+	}
+	n := a.Rows
+	l := NewCMatrix(n, n)
+	var maxDiag float64
+	for j := 0; j < n; j++ {
+		if dj := real(a.At(j, j)); dj > maxDiag {
+			maxDiag = dj
+		}
+	}
+	for j := 0; j < n; j++ {
+		d := real(a.At(j, j))
+		lrowj := l.Row(j)
+		for k := 0; k < j; k++ {
+			v := lrowj[k]
+			d -= real(v)*real(v) + imag(v)*imag(v)
+		}
+		// A pivot far below the matrix scale signals numerically
+		// dependent columns; proceeding would amplify round-off into
+		// garbage (the factor is used to orthonormalize wave functions).
+		if d <= 1e-13*maxDiag || math.IsNaN(d) {
+			return nil, ErrNotHermitianPD
+		}
+		dj := math.Sqrt(d)
+		l.Set(j, j, complex(dj, 0))
+		inv := complex(1/dj, 0)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			lrowi := l.Row(i)
+			for k := 0; k < j; k++ {
+				s -= lrowi[k] * cmplx.Conj(lrowj[k])
+			}
+			l.Set(i, j, s*inv)
+		}
+	}
+	perf.Global.AddVector(4 * int64(n) * int64(n) * int64(n) / 3)
+	return l, nil
+}
+
+// InvLowerC returns the inverse of a complex lower-triangular matrix.
+func InvLowerC(l *CMatrix) *CMatrix {
+	n := l.Rows
+	inv := NewCMatrix(n, n)
+	for j := 0; j < n; j++ {
+		// Solve L x = e_j by forward substitution.
+		x := make([]complex128, n)
+		x[j] = 1
+		for i := j; i < n; i++ {
+			s := x[i]
+			row := l.Row(i)
+			for k := j; k < i; k++ {
+				s -= row[k] * x[k]
+			}
+			x[i] = s / row[i]
+		}
+		for i := j; i < n; i++ {
+			inv.Set(i, j, x[i])
+		}
+	}
+	return inv
+}
+
+// HermitianEigen computes all eigenvalues (ascending) and an orthonormal
+// set of eigenvectors (columns of the returned CMatrix) of a Hermitian
+// matrix using the cyclic complex Jacobi method. The subspace matrices it
+// is applied to (overlap and Rayleigh–Ritz matrices, §3.3) are small
+// (N_band × N_band), where Jacobi's robustness — guaranteed unitary
+// eigenvectors even for degenerate clusters — outweighs its O(n³) sweeps.
+func HermitianEigen(h *CMatrix) ([]float64, *CMatrix, error) {
+	if h.Rows != h.Cols {
+		return nil, nil, ErrDimension
+	}
+	n := h.Rows
+	a := h.Clone()
+	v := NewCMatrix(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+	var scale float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			scale += cmplx.Abs(a.At(i, j))
+		}
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	const maxSweeps = 60
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += cmplx.Abs(a.At(i, j))
+			}
+		}
+		if off < 1e-13*scale {
+			return jacobiCollect(a, v)
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := a.At(p, q)
+				if cmplx.Abs(apq) < 1e-300 {
+					continue
+				}
+				app := real(a.At(p, p))
+				aqq := real(a.At(q, q))
+				// Unitary rotation zeroing a[p][q]:
+				//   phase e^{iφ} = apq/|apq|; then a real 2×2 rotation.
+				absApq := cmplx.Abs(apq)
+				phase := apq / complex(absApq, 0)
+				tau := (aqq - app) / (2 * absApq)
+				var t float64
+				if tau >= 0 {
+					t = 1 / (tau + math.Sqrt(1+tau*tau))
+				} else {
+					t = -1 / (-tau + math.Sqrt(1+tau*tau))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				cs := complex(c, 0)
+				sPhase := complex(s, 0) * phase
+				// Update rows/columns p and q of a: a ← J† a J with
+				// J = [[c, s·e^{iφ}], [-s·e^{-iφ}, c]] acting on (p, q).
+				for k := 0; k < n; k++ {
+					akp := a.At(k, p)
+					akq := a.At(k, q)
+					a.Set(k, p, cs*akp-cmplx.Conj(sPhase)*akq)
+					a.Set(k, q, sPhase*akp+cs*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk := a.At(p, k)
+					aqk := a.At(q, k)
+					a.Set(p, k, cs*apk-sPhase*aqk)
+					a.Set(q, k, cmplx.Conj(sPhase)*apk+cs*aqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp := v.At(k, p)
+					vkq := v.At(k, q)
+					v.Set(k, p, cs*vkp-cmplx.Conj(sPhase)*vkq)
+					v.Set(k, q, sPhase*vkp+cs*vkq)
+				}
+			}
+		}
+	}
+	return nil, nil, ErrNoConvergence
+}
+
+// jacobiCollect sorts the (converged) diagonal of a ascending and permutes
+// the eigenvector columns of v to match.
+func jacobiCollect(a, v *CMatrix) ([]float64, *CMatrix, error) {
+	n := a.Rows
+	type pair struct {
+		val float64
+		col int
+	}
+	ps := make([]pair, n)
+	for i := 0; i < n; i++ {
+		ps[i] = pair{real(a.At(i, i)), i}
+	}
+	for i := 1; i < n; i++ { // insertion sort; n is small
+		p := ps[i]
+		j := i - 1
+		for j >= 0 && ps[j].val > p.val {
+			ps[j+1] = ps[j]
+			j--
+		}
+		ps[j+1] = p
+	}
+	w := make([]float64, n)
+	out := NewCMatrix(n, n)
+	for m, p := range ps {
+		w[m] = p.val
+		for i := 0; i < n; i++ {
+			out.Set(i, m, v.At(i, p.col))
+		}
+	}
+	return w, out, nil
+}

@@ -1,0 +1,126 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoConvergence is returned when an iterative factorization fails to
+// converge within its iteration budget.
+var ErrNoConvergence = errors.New("linalg: eigensolver failed to converge")
+
+// EigenSym computes all eigenvalues and eigenvectors of the symmetric
+// matrix A. It returns the eigenvalues in ascending order and a matrix V
+// whose COLUMNS are the corresponding orthonormal eigenvectors
+// (A V = V diag(w)).
+//
+// The implementation is the cyclic Jacobi method. The matrices it is
+// applied to in this code base — Rayleigh–Ritz subspace matrices and
+// overlap matrices of §3.3 — are small (N_band × N_band), where Jacobi's
+// unconditional stability and guaranteed orthogonal eigenvectors (even
+// across degenerate clusters) outweigh its extra sweeps.
+func EigenSym(a *Matrix) (w []float64, v *Matrix, err error) {
+	if a.Rows != a.Cols {
+		return nil, nil, ErrDimension
+	}
+	n := a.Rows
+	if n == 0 {
+		return []float64{}, NewMatrix(0, 0), nil
+	}
+	m := a.Clone()
+	v = Eye(n)
+
+	var scale float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			scale += math.Abs(m.At(i, j))
+		}
+	}
+	if scale == 0 {
+		return make([]float64, n), v, nil
+	}
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += math.Abs(m.At(i, j))
+			}
+		}
+		if off < 1e-14*scale {
+			return eigCollect(m, v)
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app := m.At(p, p)
+				aqq := m.At(q, q)
+				tau := (aqq - app) / (2 * apq)
+				var t float64
+				if tau >= 0 {
+					t = 1 / (tau + math.Sqrt(1+tau*tau))
+				} else {
+					t = -1 / (-tau + math.Sqrt(1+tau*tau))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				// A ← JᵀAJ with J = [[c, s], [-s, c]] on (p, q).
+				for k := 0; k < n; k++ {
+					akp := m.At(k, p)
+					akq := m.At(k, q)
+					m.Set(k, p, c*akp-s*akq)
+					m.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk := m.At(p, k)
+					aqk := m.At(q, k)
+					m.Set(p, k, c*apk-s*aqk)
+					m.Set(q, k, s*apk+c*aqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp := v.At(k, p)
+					vkq := v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+	return nil, nil, ErrNoConvergence
+}
+
+// eigCollect sorts the converged diagonal ascending, permuting the
+// eigenvector columns to match.
+func eigCollect(m, v *Matrix) ([]float64, *Matrix, error) {
+	n := m.Rows
+	type pair struct {
+		val float64
+		col int
+	}
+	ps := make([]pair, n)
+	for i := 0; i < n; i++ {
+		ps[i] = pair{m.At(i, i), i}
+	}
+	for i := 1; i < n; i++ { // insertion sort; n is small
+		p := ps[i]
+		j := i - 1
+		for j >= 0 && ps[j].val > p.val {
+			ps[j+1] = ps[j]
+			j--
+		}
+		ps[j+1] = p
+	}
+	w := make([]float64, n)
+	out := NewMatrix(n, n)
+	for c, p := range ps {
+		w[c] = p.val
+		for r := 0; r < n; r++ {
+			out.Set(r, c, v.At(r, p.col))
+		}
+	}
+	return w, out, nil
+}

@@ -1,0 +1,145 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randSymmetric(rng *rand.Rand, n int) *Matrix {
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	return a
+}
+
+func TestEigenSymDiagonal(t *testing.T) {
+	a := NewMatrix(3, 3)
+	a.Set(0, 0, 3)
+	a.Set(1, 1, 1)
+	a.Set(2, 2, 2)
+	w, v, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if math.Abs(w[i]-want[i]) > 1e-12 {
+			t.Fatalf("eigenvalue %d: got %g want %g", i, w[i], want[i])
+		}
+	}
+	_ = v
+}
+
+func TestEigenSymKnown2x2(t *testing.T) {
+	// [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 2)
+	w, _, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w[0]-1) > 1e-12 || math.Abs(w[1]-3) > 1e-12 {
+		t.Fatalf("got %v, want [1 3]", w)
+	}
+}
+
+func checkEigen(t *testing.T, a *Matrix, w []float64, v *Matrix, tol float64) {
+	t.Helper()
+	n := a.Rows
+	// A V == V diag(w)
+	av := MatMul(a, v)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			want := v.At(i, j) * w[j]
+			if math.Abs(av.At(i, j)-want) > tol {
+				t.Fatalf("A v != w v at (%d,%d): %g vs %g", i, j, av.At(i, j), want)
+			}
+		}
+	}
+	// VᵀV == I
+	vtv := MatTMul(v, v)
+	if !Equalish(vtv, Eye(n), tol) {
+		t.Fatal("eigenvectors not orthonormal")
+	}
+	// Ascending order
+	for i := 1; i < n; i++ {
+		if w[i] < w[i-1]-tol {
+			t.Fatalf("eigenvalues not ascending: %v", w)
+		}
+	}
+}
+
+func TestEigenSymRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for _, n := range []int{1, 2, 3, 8, 25, 60} {
+		a := randSymmetric(rng, n)
+		w, v, err := EigenSym(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		checkEigen(t, a, w, v, 1e-8*math.Sqrt(float64(n)))
+	}
+}
+
+func TestEigenSymDegenerate(t *testing.T) {
+	// Identity: all eigenvalues 1, any orthonormal basis is valid.
+	w, v, err := EigenSym(Eye(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEigen(t, Eye(5), w, v, 1e-10)
+	for _, val := range w {
+		if math.Abs(val-1) > 1e-12 {
+			t.Fatalf("identity eigenvalue %g != 1", val)
+		}
+	}
+}
+
+// Property: trace(A) == sum of eigenvalues; Frobenius norm² == sum w².
+func TestEigenInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		a := randSymmetric(rng, n)
+		w, _, err := EigenSym(a)
+		if err != nil {
+			return false
+		}
+		var tr, frob2, sw, sw2 float64
+		for i := 0; i < n; i++ {
+			tr += a.At(i, i)
+			for j := 0; j < n; j++ {
+				frob2 += a.At(i, j) * a.At(i, j)
+			}
+		}
+		for _, v := range w {
+			sw += v
+			sw2 += v * v
+		}
+		return math.Abs(tr-sw) < 1e-8*(1+math.Abs(tr)) &&
+			math.Abs(frob2-sw2) < 1e-7*(1+frob2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEigenSymEmptyAndRect(t *testing.T) {
+	w, v, err := EigenSym(NewMatrix(0, 0))
+	if err != nil || len(w) != 0 || v.Rows != 0 {
+		t.Fatal("empty matrix should give empty result")
+	}
+	if _, _, err := EigenSym(NewMatrix(2, 3)); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}

@@ -1,0 +1,84 @@
+package machine
+
+// This file models the paper's conclusion (§7): LDC-DFT is claimed to be
+// "metascalable" — design once, scale on new architectures — assuming
+// only that future machines support a tree network topology with
+// progressively reduced communication volume at upper levels. The
+// projection below instantiates a hypothetical exascale machine and runs
+// the SAME calibrated LDC cost model on it, quantifying that claim.
+
+// Exascale returns a hypothetical many-core tree machine: ~10M cores,
+// 100 GF/core peak (1 EFLOP/s total), with link bandwidth scaled up one
+// order of magnitude over Blue Gene/Q.
+func Exascale() *Machine {
+	return &Machine{
+		Name:           "hypothetical exascale tree machine",
+		CoresPerNode:   128,
+		ThreadsPerCore: 4,
+		NodePeakGF:     12800, // 100 GF/core
+		LinkGBs:        25,
+		LinksPerNode:   12,
+		HopLatency:     8e-7,
+		TorusDims:      6,
+		RacksMax:       128,
+		NodesPerRack:   640,
+		ThreadEff:      map[int]float64{1: 0.27, 2: 0.37, 4: 0.51},
+		KernelEff:      0.50,
+	}
+}
+
+// MetascalabilityPoint is one machine of the §7 projection.
+type MetascalabilityPoint struct {
+	Machine    string
+	Cores      int
+	Atoms      int64
+	Efficiency float64 // weak-scaling efficiency at full machine
+	Speed      float64 // atom·SCF-iterations per second
+}
+
+// MetascalabilityProjection runs the identical weak-scaling experiment
+// (64 atoms/core) on Blue Gene/Q, the Xeon node, and the exascale model:
+// the same algorithm and calibration, three architectures. The paper's
+// metascalability claim corresponds to the efficiency staying near 1
+// across all three.
+func MetascalabilityProjection() []MetascalabilityPoint {
+	cal := DefaultCalibration()
+	var out []MetascalabilityPoint
+	for _, m := range []*Machine{XeonE5(), BlueGeneQ(), Exascale()} {
+		full := m.RacksMax * m.NodesPerRack * m.CoresPerNode
+		base := m.CoresPerNode
+		steps := []int{base}
+		for p := base * 4; p < full; p *= 8 {
+			steps = append(steps, p)
+		}
+		steps = append(steps, full)
+		pts := WeakScaling(m, 64, steps, cal)
+		last := pts[len(pts)-1]
+		out = append(out, MetascalabilityPoint{
+			Machine:    m.Name,
+			Cores:      last.Cores,
+			Atoms:      last.Atoms,
+			Efficiency: last.Efficiency,
+			Speed:      float64(last.Atoms) * 3 / last.WallClock, // 3 SCF/step
+		})
+	}
+	return out
+}
+
+// ExascaleSpeedupOverMira returns the projected time-to-solution gain of
+// the full exascale machine over the full Mira for the same granularity.
+func ExascaleSpeedupOverMira() float64 {
+	cal := DefaultCalibration()
+	mira := BlueGeneQ()
+	exa := Exascale()
+	pm := mira.RacksMax * mira.NodesPerRack * mira.CoresPerNode
+	pe := exa.RacksMax * exa.NodesPerRack * exa.CoresPerNode
+	jm := JobForAtoms(int64(64*pm), 64)
+	je := JobForAtoms(int64(64*pe), 64)
+	sm := SimulateQMDStep(mira, pm, jm, cal)
+	se := SimulateQMDStep(exa, pe, je, cal)
+	if sm.Speed(jm) == 0 {
+		return 0
+	}
+	return se.Speed(je) / sm.Speed(jm)
+}

@@ -1,0 +1,176 @@
+// Package md implements the molecular-dynamics layer of QMD: the
+// velocity-Verlet integrator, thermostats, and the trajectory driver that
+// couples any force provider — the LDC-DFT engine for quantum MD, or the
+// reactive surrogate field for the large hydrogen-on-demand runs — to the
+// atomic equations of motion (§6; the paper's production runs use a unit
+// time step of 0.242 fs).
+package md
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ldcdft/internal/atoms"
+	"ldcdft/internal/geom"
+	"ldcdft/internal/units"
+)
+
+// ForceField computes the potential energy and per-atom forces of a
+// configuration. Implementations: reactive.Field (surrogate reactive
+// force field) and qmd.ForceField (LDC-DFT engine; see package qmd).
+type ForceField interface {
+	Compute(sys *atoms.System) (energy float64, forces []geom.Vec3, err error)
+}
+
+// Thermostat rescales velocities toward a target temperature.
+type Thermostat interface {
+	Apply(sys *atoms.System, dt float64)
+}
+
+// Berendsen is the Berendsen weak-coupling thermostat: velocities are
+// scaled by √(1 + dt/τ·(T0/T − 1)) each step.
+type Berendsen struct {
+	TargetK float64 // target temperature (Kelvin)
+	TauAU   float64 // coupling time constant (atomic time units)
+}
+
+// Apply implements Thermostat.
+func (b *Berendsen) Apply(sys *atoms.System, dt float64) {
+	t := sys.Temperature()
+	if t <= 0 {
+		return
+	}
+	lam := 1 + dt/b.TauAU*(b.TargetK/t-1)
+	if lam < 0.25 {
+		lam = 0.25 // bound the rescale against startup shocks
+	}
+	if lam > 4 {
+		lam = 4
+	}
+	s := math.Sqrt(lam)
+	for i := range sys.Atoms {
+		sys.Atoms[i].Velocity = sys.Atoms[i].Velocity.Scale(s)
+	}
+}
+
+// Rescale is a hard velocity-rescaling thermostat applied every Interval
+// steps (tracked internally).
+type Rescale struct {
+	TargetK  float64
+	Interval int
+	count    int
+}
+
+// Apply implements Thermostat.
+func (r *Rescale) Apply(sys *atoms.System, dt float64) {
+	r.count++
+	if r.Interval > 1 && r.count%r.Interval != 0 {
+		return
+	}
+	t := sys.Temperature()
+	if t <= 0 {
+		return
+	}
+	s := math.Sqrt(r.TargetK / t)
+	for i := range sys.Atoms {
+		sys.Atoms[i].Velocity = sys.Atoms[i].Velocity.Scale(s)
+	}
+}
+
+// Integrator advances a system with velocity Verlet.
+type Integrator struct {
+	FF         ForceField
+	DtAU       float64    // time step (atomic time units)
+	Thermostat Thermostat // optional
+
+	forces []geom.Vec3
+	energy float64
+	primed bool
+	steps  int
+}
+
+// ErrNoForceField is returned by Step when the integrator lacks a force
+// field.
+var ErrNoForceField = errors.New("md: integrator has no force field")
+
+// NewIntegrator builds an integrator with the paper's default time step
+// (0.242 fs) if dtFs is zero.
+func NewIntegrator(ff ForceField, dtFs float64) *Integrator {
+	if dtFs == 0 {
+		dtFs = units.PaperTimeStepFs
+	}
+	return &Integrator{FF: ff, DtAU: dtFs * units.AtomicTimePerFs}
+}
+
+// PotentialEnergy returns the energy of the last force evaluation.
+func (in *Integrator) PotentialEnergy() float64 { return in.energy }
+
+// Forces returns the last computed forces (nil before the first step).
+func (in *Integrator) Forces() []geom.Vec3 { return in.forces }
+
+// Steps returns the number of completed MD steps.
+func (in *Integrator) Steps() int { return in.steps }
+
+// Step advances the system by one velocity-Verlet step:
+// v += F/m·dt/2; r += v·dt; recompute F; v += F/m·dt/2.
+func (in *Integrator) Step(sys *atoms.System) error {
+	if in.FF == nil {
+		return ErrNoForceField
+	}
+	dt := in.DtAU
+	if !in.primed {
+		e, f, err := in.FF.Compute(sys)
+		if err != nil {
+			return fmt.Errorf("md: initial force evaluation: %w", err)
+		}
+		in.energy, in.forces = e, f
+		in.primed = true
+	}
+	if len(in.forces) != len(sys.Atoms) {
+		return fmt.Errorf("md: force count %d != atom count %d", len(in.forces), len(sys.Atoms))
+	}
+	for i := range sys.Atoms {
+		a := &sys.Atoms[i]
+		inv := dt / (2 * a.Species.Mass())
+		a.Velocity = a.Velocity.Add(in.forces[i].Scale(inv))
+		a.Position = a.Position.Add(a.Velocity.Scale(dt))
+	}
+	sys.WrapAll()
+	e, f, err := in.FF.Compute(sys)
+	if err != nil {
+		return fmt.Errorf("md: force evaluation: %w", err)
+	}
+	in.energy, in.forces = e, f
+	for i := range sys.Atoms {
+		a := &sys.Atoms[i]
+		inv := dt / (2 * a.Species.Mass())
+		a.Velocity = a.Velocity.Add(in.forces[i].Scale(inv))
+	}
+	if in.Thermostat != nil {
+		in.Thermostat.Apply(sys, dt)
+	}
+	in.steps++
+	return nil
+}
+
+// Run advances n steps, invoking observe (if non-nil) after each with the
+// completed step index.
+func (in *Integrator) Run(sys *atoms.System, n int, observe func(step int) error) error {
+	for i := 0; i < n; i++ {
+		if err := in.Step(sys); err != nil {
+			return err
+		}
+		if observe != nil {
+			if err := observe(i); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// TotalEnergy returns kinetic + potential energy of the last step.
+func (in *Integrator) TotalEnergy(sys *atoms.System) float64 {
+	return sys.KineticEnergy() + in.energy
+}

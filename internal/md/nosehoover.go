@@ -1,0 +1,48 @@
+package md
+
+import (
+	"math"
+
+	"ldcdft/internal/atoms"
+	"ldcdft/internal/units"
+)
+
+// NoseHoover implements the Nosé–Hoover thermostat (single chain,
+// velocity-scaling discretization): a friction variable ζ obeys
+// dζ/dt = (T/T₀ − 1)/τ² and velocities are scaled by e^{−ζ·dt} each
+// step. Unlike Berendsen it samples the canonical ensemble, which the
+// long production trajectories of §6 require for meaningful Arrhenius
+// statistics.
+type NoseHoover struct {
+	TargetK float64 // target temperature (Kelvin)
+	TauAU   float64 // relaxation time (atomic time units)
+
+	zeta float64
+}
+
+// Apply implements Thermostat.
+func (nh *NoseHoover) Apply(sys *atoms.System, dt float64) {
+	t := sys.Temperature()
+	if t <= 0 || nh.TargetK <= 0 {
+		return
+	}
+	tau := nh.TauAU
+	if tau <= 0 {
+		tau = 40 * units.AtomicTimePerFs
+	}
+	nh.zeta += dt / (tau * tau) * (t/nh.TargetK - 1)
+	s := math.Exp(-nh.zeta * dt)
+	// Bound pathological scalings during violent startup transients.
+	if s < 0.5 {
+		s = 0.5
+	}
+	if s > 2 {
+		s = 2
+	}
+	for i := range sys.Atoms {
+		sys.Atoms[i].Velocity = sys.Atoms[i].Velocity.Scale(s)
+	}
+}
+
+// Zeta exposes the friction variable (diagnostics).
+func (nh *NoseHoover) Zeta() float64 { return nh.zeta }

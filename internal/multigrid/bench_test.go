@@ -1,0 +1,37 @@
+package multigrid
+
+import (
+	"math"
+	"testing"
+
+	"ldcdft/internal/grid"
+)
+
+// The GSLF ablation (§3.2): the multigrid global Poisson path benchmarked
+// at the global-grid sizes the LDC engine uses.
+func benchPoisson(b *testing.B, n int) {
+	g := grid.New(n, 10)
+	s, err := NewSolver(g, Options{Tol: 1e-8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rho := grid.NewField(g)
+	for ix := 0; ix < n; ix++ {
+		for iy := 0; iy < n; iy++ {
+			for iz := 0; iz < n; iz++ {
+				p := g.Point(ix, iy, iz)
+				rho.Data[g.Index(ix, iy, iz)] = math.Sin(2*math.Pi*p.X/10) * math.Cos(4*math.Pi*p.Y/10)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.SolvePoisson(rho); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPoisson24(b *testing.B) { benchPoisson(b, 24) }
+func BenchmarkPoisson48(b *testing.B) { benchPoisson(b, 48) }
+func BenchmarkPoisson96(b *testing.B) { benchPoisson(b, 96) }

@@ -1,0 +1,159 @@
+package pseudo
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"ldcdft/internal/atoms"
+	"ldcdft/internal/geom"
+	"ldcdft/internal/linalg"
+)
+
+func TestLocalGLimits(t *testing.T) {
+	sp := atoms.Silicon
+	// Finite and attractive at G = 0.
+	v0 := LocalG(sp, 0)
+	if v0 >= 0 || math.IsInf(v0, 0) {
+		t.Fatalf("v(0) = %g", v0)
+	}
+	// Decays with G².
+	if math.Abs(LocalG(sp, 100)) > math.Abs(LocalG(sp, 1)) {
+		t.Fatal("form factor should decay")
+	}
+	// Scales with valence.
+	if LocalG(atoms.Carbon, 1)/LocalG(atoms.Hydrogen, 1) < 1 {
+		t.Fatal("higher valence should bind more strongly")
+	}
+}
+
+func TestProjectorChannels(t *testing.T) {
+	sp := atoms.Aluminum
+	// Channel 0 peaks at G=0; channel 1 vanishes at G=0.
+	if ProjectorG(sp, 0, 0) != 1 {
+		t.Fatalf("s channel at G=0: %g", ProjectorG(sp, 0, 0))
+	}
+	if ProjectorG(sp, 1, 0) != 0 {
+		t.Fatal("p-like channel must vanish at G=0")
+	}
+	if ProjectorG(sp, 1, 0.5) <= 0 {
+		t.Fatal("p-like channel positive away from G=0")
+	}
+}
+
+// smallTestSetup builds a minimal G set and two atoms with projectors.
+func smallTestSetup(rng *rand.Rand) ([]geom.Vec3, []float64, *Projectors) {
+	var gv []geom.Vec3
+	var g2 []float64
+	for i := -2; i <= 2; i++ {
+		for j := -2; j <= 2; j++ {
+			for k := -2; k <= 2; k++ {
+				v := geom.Vec3{X: float64(i) * 0.7, Y: float64(j) * 0.7, Z: float64(k) * 0.7}
+				gv = append(gv, v)
+				g2 = append(g2, v.Norm2())
+			}
+		}
+	}
+	species := []*atoms.Species{atoms.Silicon, atoms.Aluminum}
+	pos := []geom.Vec3{{X: 1, Y: 2, Z: 3}, {X: 4, Y: 5, Z: 6}}
+	return gv, g2, BuildProjectors(gv, g2, 1000, species, pos)
+}
+
+func TestBuildProjectorsShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	gv, _, pr := smallTestSetup(rng)
+	// Si has 2 channels, Al has 2 channels → 4 projectors.
+	if pr.NumProjectors() != 4 {
+		t.Fatalf("projector count %d, want 4", pr.NumProjectors())
+	}
+	if pr.B.Rows != len(gv) {
+		t.Fatal("projector rows mismatch")
+	}
+	// Unit normalization per column.
+	for j := 0; j < pr.NumProjectors(); j++ {
+		var norm float64
+		for i := 0; i < pr.B.Rows; i++ {
+			v := pr.B.At(i, j)
+			norm += real(v)*real(v) + imag(v)*imag(v)
+		}
+		if math.Abs(norm-1) > 1e-10 {
+			t.Fatalf("projector %d norm² = %g", j, norm)
+		}
+	}
+	// Atom bookkeeping.
+	if pr.Atom[0] != 0 || pr.Atom[2] != 1 {
+		t.Fatalf("atom assignment %v", pr.Atom)
+	}
+}
+
+func TestApplyBandByBandMatchesAllBand(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	gv, _, pr := smallTestSetup(rng)
+	np := len(gv)
+	nb := 3
+	psi := linalg.NewCMatrix(np, nb)
+	for i := range psi.Data {
+		psi.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	// All-band.
+	out3 := linalg.NewCMatrix(np, nb)
+	pr.ApplyAllBand(psi, out3)
+	// Band-by-band.
+	out2 := linalg.NewCMatrix(np, nb)
+	col := make([]complex128, np)
+	acc := make([]complex128, np)
+	for n := 0; n < nb; n++ {
+		psi.Col(n, col)
+		for i := range acc {
+			acc[i] = 0
+		}
+		pr.ApplyBandByBand(col, acc)
+		out2.SetCol(n, acc)
+	}
+	for i := range out2.Data {
+		if cmplx.Abs(out2.Data[i]-out3.Data[i]) > 1e-10 {
+			t.Fatalf("BLAS2 vs BLAS3 mismatch at %d: %v vs %v", i, out2.Data[i], out3.Data[i])
+		}
+	}
+}
+
+func TestExpectationMatchesApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	gv, _, pr := smallTestSetup(rng)
+	np := len(gv)
+	psi := make([]complex128, np)
+	for i := range psi {
+		psi[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	// ⟨ψ|V_nl|ψ⟩ via Expectation and via explicit application.
+	want := pr.Expectation(psi)
+	vnl := make([]complex128, np)
+	pr.ApplyBandByBand(psi, vnl)
+	var got complex128
+	for i := range psi {
+		got += complex(real(psi[i]), -imag(psi[i])) * vnl[i]
+	}
+	if math.Abs(real(got)-want) > 1e-9*(1+math.Abs(want)) {
+		t.Fatalf("expectation %g vs apply %g", want, real(got))
+	}
+	if math.Abs(imag(got)) > 1e-9 {
+		t.Fatal("expectation should be real")
+	}
+	if want < 0 && pr.D[0] > 0 {
+		t.Fatal("positive-D expectation should be non-negative")
+	}
+}
+
+func TestEmptyProjectors(t *testing.T) {
+	gv := []geom.Vec3{{X: 1}}
+	g2 := []float64{1}
+	pr := BuildProjectors(gv, g2, 1, []*atoms.Species{atoms.Hydrogen}, []geom.Vec3{{}})
+	// Hydrogen has no nonlocal channels.
+	if pr.NumProjectors() != 0 {
+		t.Fatal("H should have no projectors")
+	}
+	psi := linalg.NewCMatrix(1, 1)
+	out := linalg.NewCMatrix(1, 1)
+	pr.ApplyAllBand(psi, out) // must not panic
+}

@@ -1,0 +1,131 @@
+// Package pw implements the plane-wave Kohn–Sham solver that LDC-DFT
+// runs inside every divide-and-conquer domain ("fast intra-domain
+// computation", §3.2), and that doubles — applied to the whole cell — as
+// the conventional O(N³) DFT baseline used for verification (§5.5) and
+// the crossover study (§5.2).
+//
+// Conventions: Hartree atomic units; wave functions are expanded as
+// ψ(r) = Ω^{-1/2} Σ_G c_G e^{iG·r} with coefficient vectors normalized to
+// Σ|c_G|² = 1; the reciprocal basis is the sphere ½|G|² ≤ Ecut on the
+// FFT grid of the periodic cell.
+package pw
+
+import (
+	"fmt"
+	"math"
+
+	"ldcdft/internal/fft"
+	"ldcdft/internal/geom"
+	"ldcdft/internal/grid"
+)
+
+// Basis is the plane-wave basis of one periodic cell.
+type Basis struct {
+	Grid grid.Grid // FFT grid (N³ points over cell of side L)
+	Ecut float64   // kinetic-energy cutoff (Hartree)
+
+	G    []geom.Vec3 // G-vectors in the sphere
+	G2   []float64   // |G|²
+	FFTi []int       // FFT-grid linear index of each G
+
+	plan *fft.Plan3
+}
+
+// NewBasis enumerates the plane waves with ½|G|² ≤ ecut on the FFT grid
+// g. It returns an error if the sphere is empty or if the grid is too
+// coarse to hold the sphere (Nyquist violation).
+func NewBasis(g grid.Grid, ecut float64) (*Basis, error) {
+	if ecut <= 0 {
+		return nil, fmt.Errorf("pw: non-positive cutoff %g", ecut)
+	}
+	b := &Basis{Grid: g, Ecut: ecut, plan: fft.NewPlan3(g.N, g.N, g.N)}
+	unit := 2 * math.Pi / g.L
+	gmax := math.Sqrt(2 * ecut)
+	mmax := int(gmax/unit) + 1
+	if mmax > g.N/2 {
+		return nil, fmt.Errorf("pw: cutoff %g Ha needs |m| ≤ %d but grid has N/2 = %d",
+			ecut, mmax, g.N/2)
+	}
+	n := g.N
+	for ix := 0; ix < n; ix++ {
+		mx := fold(ix, n)
+		for iy := 0; iy < n; iy++ {
+			my := fold(iy, n)
+			for iz := 0; iz < n; iz++ {
+				mz := fold(iz, n)
+				gv := geom.Vec3{X: float64(mx) * unit, Y: float64(my) * unit, Z: float64(mz) * unit}
+				g2 := gv.Norm2()
+				if g2/2 <= ecut {
+					b.G = append(b.G, gv)
+					b.G2 = append(b.G2, g2)
+					b.FFTi = append(b.FFTi, (ix*n+iy)*n+iz)
+				}
+			}
+		}
+	}
+	if len(b.G) == 0 {
+		return nil, fmt.Errorf("pw: empty basis for cutoff %g", ecut)
+	}
+	return b, nil
+}
+
+// fold maps FFT index to signed frequency: 0..N/2 → 0..N/2, rest negative.
+func fold(i, n int) int {
+	if i <= n/2 {
+		return i
+	}
+	return i - n
+}
+
+// Np returns the number of plane waves (the paper's Np ~ 10⁴; laptop-scale
+// runs here use 10²–10³).
+func (b *Basis) Np() int { return len(b.G) }
+
+// Volume returns the cell volume Ω.
+func (b *Basis) Volume() float64 { return b.Grid.L * b.Grid.L * b.Grid.L }
+
+// Scatter places coefficient vector c (len Np) onto a zeroed FFT grid
+// array (len N³).
+func (b *Basis) Scatter(c []complex128, gridArr []complex128) {
+	for i := range gridArr {
+		gridArr[i] = 0
+	}
+	for i, fi := range b.FFTi {
+		gridArr[fi] = c[i]
+	}
+}
+
+// Gather extracts the sphere coefficients from an FFT grid array.
+func (b *Basis) Gather(gridArr []complex128, c []complex128) {
+	for i, fi := range b.FFTi {
+		c[i] = gridArr[fi]
+	}
+}
+
+// ToRealSpace converts coefficients c to wave-function values ψ̃(r_j) =
+// Σ_G c_G e^{iG·r_j} on the FFT grid (the Ω^{-1/2} normalization is NOT
+// included). The work buffer must have length N³ and is overwritten.
+func (b *Basis) ToRealSpace(c []complex128, work []complex128) {
+	b.Scatter(c, work)
+	// Inverse DFT includes 1/N³; our target is Σ c e^{+2πi m·j/N}, which
+	// is N³ × Inverse. Rescale in place.
+	b.plan.Inverse(work)
+	n3 := complex(float64(b.Grid.Size()), 0)
+	for i := range work {
+		work[i] *= n3
+	}
+}
+
+// FromRealSpace projects grid values f(r_j) onto sphere coefficients:
+// c_G = (1/N³) Σ_j f(r_j) e^{−iG·r_j}. The input buffer is destroyed.
+func (b *Basis) FromRealSpace(work []complex128, c []complex128) {
+	b.plan.Forward(work)
+	inv := complex(1/float64(b.Grid.Size()), 0)
+	for i := range work {
+		work[i] *= inv
+	}
+	b.Gather(work, c)
+}
+
+// Plan exposes the 3-D FFT plan (used by the Hartree solver).
+func (b *Basis) Plan() *fft.Plan3 { return b.plan }

@@ -1,0 +1,98 @@
+package pw
+
+import (
+	"math/rand"
+	"testing"
+
+	"ldcdft/internal/atoms"
+	"ldcdft/internal/geom"
+	"ldcdft/internal/grid"
+	"ldcdft/internal/linalg"
+	"ldcdft/internal/pseudo"
+)
+
+// benchSetup builds a domain-sized Hamiltonian with projectors and a
+// band block, approximating one LDC domain's workload.
+func benchSetup(b *testing.B, nb int) (*Hamiltonian, *linalg.CMatrix) {
+	b.Helper()
+	basis, err := NewBasis(grid.New(18, 12), 3.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	species := []*atoms.Species{atoms.Silicon, atoms.Carbon, atoms.Silicon, atoms.Carbon}
+	pos := []geom.Vec3{{X: 3, Y: 3, Z: 3}, {X: 9, Y: 3, Z: 3}, {X: 3, Y: 9, Z: 9}, {X: 9, Y: 9, Z: 9}}
+	proj := pseudo.BuildProjectors(basis.G, basis.G2, basis.Volume(), species, pos)
+	h := NewHamiltonian(basis, proj)
+	copy(h.Vloc, BuildLocalPseudo(basis, species, pos))
+	psi, err := RandomOrbitals(basis, nb, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return h, psi
+}
+
+// BenchmarkApplyAllBLAS3 vs BenchmarkApplyAllBLAS2 is the §3.4 algebraic
+// transformation measured on the REAL Hamiltonian: all-band matrix-matrix
+// nonlocal application vs band-by-band.
+func BenchmarkApplyAllBLAS3(b *testing.B) {
+	h, psi := benchSetup(b, 16)
+	h.NlMode = NonlocalBLAS3
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ApplyAll(psi)
+	}
+}
+
+func BenchmarkApplyAllBLAS2(b *testing.B) {
+	h, psi := benchSetup(b, 16)
+	h.NlMode = NonlocalBLAS2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ApplyAll(psi)
+	}
+}
+
+func BenchmarkOrthonormalize(b *testing.B) {
+	_, psi := benchSetup(b, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		work := psi.Clone()
+		if err := Orthonormalize(work); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDensity(b *testing.B) {
+	h, psi := benchSetup(b, 16)
+	occ := make([]float64, 16)
+	for i := range occ {
+		occ[i] = 2
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Density(h.Basis, psi, occ)
+	}
+}
+
+func BenchmarkSolveAllBandIteration(b *testing.B) {
+	h, psi := benchSetup(b, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveAllBand(h, psi, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHartreeFFT(b *testing.B) {
+	h, _ := benchSetup(b, 2)
+	rho := make([]float64, h.Basis.Grid.Size())
+	for i := range rho {
+		rho[i] = 0.01 * float64(i%7)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		HartreeFFT(h.Basis, rho)
+	}
+}

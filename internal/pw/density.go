@@ -1,0 +1,65 @@
+package pw
+
+import (
+	"runtime"
+	"sync"
+
+	"ldcdft/internal/linalg"
+)
+
+// Density computes the valence electron density ρ(r_j) = (1/Ω) Σ_n f_n
+// |ψ̃_n(r_j)|² on the FFT grid (Eq. (c) in Fig. 2, with occupations f_n
+// supplied by the Fermi distribution at the global chemical potential).
+// Band contributions are accumulated across parallel workers (band
+// decomposition, §3.3).
+func Density(b *Basis, psi *linalg.CMatrix, occ []float64) []float64 {
+	size := b.Grid.Size()
+	nb := psi.Cols
+	invVol := 1 / b.Volume()
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nb {
+		workers = nb
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	partials := make([][]float64, workers)
+	var wg sync.WaitGroup
+	next := make(chan int, nb)
+	for n := 0; n < nb; n++ {
+		next <- n
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make([]float64, size)
+			scratch := make([]complex128, size)
+			col := make([]complex128, psi.Rows)
+			for n := range next {
+				f := occ[n]
+				if f == 0 {
+					continue
+				}
+				psi.Col(n, col)
+				b.ToRealSpace(col, scratch)
+				for i, v := range scratch {
+					local[i] += f * (real(v)*real(v) + imag(v)*imag(v)) * invVol
+				}
+			}
+			partials[w] = local
+		}(w)
+	}
+	wg.Wait()
+	rho := make([]float64, size)
+	for _, local := range partials {
+		if local == nil {
+			continue
+		}
+		for i, v := range local {
+			rho[i] += v
+		}
+	}
+	return rho
+}

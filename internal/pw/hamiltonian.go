@@ -1,0 +1,220 @@
+package pw
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"ldcdft/internal/atoms"
+	"ldcdft/internal/geom"
+	"ldcdft/internal/linalg"
+	"ldcdft/internal/pseudo"
+)
+
+// NonlocalVariant selects the §3.4 code path for V_nl application.
+type NonlocalVariant int
+
+const (
+	// NonlocalBLAS3 applies the projectors to all bands at once via
+	// matrix-matrix products (Eq. (5)); the production path.
+	NonlocalBLAS3 NonlocalVariant = iota
+	// NonlocalBLAS2 applies them band by band (Eq. (4)); the original
+	// path kept for the ablation benchmark.
+	NonlocalBLAS2
+)
+
+// Hamiltonian is the Kohn–Sham operator of one periodic cell (Eq. (3)):
+// H = −½∇² + V_local(r) + V_nl, with V_local collecting the local
+// pseudopotential, Hartree, exchange-correlation, and (for LDC domains)
+// the density-adaptive boundary potential v_bc.
+type Hamiltonian struct {
+	Basis  *Basis
+	Vloc   []float64 // effective local potential on the FFT grid (N³)
+	Proj   *pseudo.Projectors
+	NlMode NonlocalVariant
+}
+
+// NewHamiltonian allocates a Hamiltonian with a zero local potential.
+func NewHamiltonian(b *Basis, proj *pseudo.Projectors) *Hamiltonian {
+	return &Hamiltonian{Basis: b, Vloc: make([]float64, b.Grid.Size()), Proj: proj}
+}
+
+// Apply computes out = H ψ for a single coefficient vector.
+// The scratch buffer must have length N³ (use NewScratch).
+func (h *Hamiltonian) Apply(psi, out, scratch []complex128) {
+	b := h.Basis
+	// Kinetic part.
+	for i, g2 := range b.G2 {
+		out[i] = complex(g2/2, 0) * psi[i]
+	}
+	// Local potential part via FFT.
+	b.ToRealSpace(psi, scratch)
+	for i, v := range h.Vloc {
+		scratch[i] *= complex(v, 0)
+	}
+	tmp := make([]complex128, b.Np())
+	b.FromRealSpace(scratch, tmp)
+	for i := range out {
+		out[i] += tmp[i]
+	}
+	// Nonlocal part.
+	if h.Proj != nil && h.Proj.NumProjectors() > 0 {
+		h.Proj.ApplyBandByBand(psi, out)
+	}
+}
+
+// NewScratch allocates an FFT-grid work buffer for Apply.
+func (h *Hamiltonian) NewScratch() []complex128 {
+	return make([]complex128, h.Basis.Grid.Size())
+}
+
+// ApplyAll computes HΨ for the packed wave-function matrix Ψ (Np×Nband).
+// The kinetic and local parts are applied per band across parallel
+// workers (band decomposition, §3.3); the nonlocal part uses the BLAS3
+// all-band form unless NlMode selects the band-by-band path.
+func (h *Hamiltonian) ApplyAll(psi *linalg.CMatrix) *linalg.CMatrix {
+	b := h.Basis
+	nb := psi.Cols
+	out := linalg.NewCMatrix(psi.Rows, nb)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nb {
+		workers = nb
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, nb)
+	for n := 0; n < nb; n++ {
+		next <- n
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scratch := h.NewScratch()
+			col := make([]complex128, psi.Rows)
+			res := make([]complex128, psi.Rows)
+			tmp := make([]complex128, b.Np())
+			for n := range next {
+				psi.Col(n, col)
+				for i, g2 := range b.G2 {
+					res[i] = complex(g2/2, 0) * col[i]
+				}
+				b.ToRealSpace(col, scratch)
+				for i, v := range h.Vloc {
+					scratch[i] *= complex(v, 0)
+				}
+				b.FromRealSpace(scratch, tmp)
+				for i := range res {
+					res[i] += tmp[i]
+				}
+				if h.NlMode == NonlocalBLAS2 && h.Proj != nil {
+					h.Proj.ApplyBandByBand(col, res)
+				}
+				out.SetCol(n, res)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.NlMode == NonlocalBLAS3 && h.Proj != nil {
+		h.Proj.ApplyAllBand(psi, out)
+	}
+	return out
+}
+
+// KineticExpectation returns ⟨ψ|−½∇²|ψ⟩ for one coefficient vector.
+func (h *Hamiltonian) KineticExpectation(psi []complex128) float64 {
+	var e float64
+	for i, g2 := range h.Basis.G2 {
+		e += g2 / 2 * (real(psi[i])*real(psi[i]) + imag(psi[i])*imag(psi[i]))
+	}
+	return e
+}
+
+// BuildLocalPseudo fills vloc (len N³) with the ionic local potential
+// V_ps(r) = (1/Ω) Σ_I Σ_G v_I(G) e^{iG·(r−R_I)} evaluated over the full
+// FFT grid, and returns it. Positions are relative to the cell origin.
+func BuildLocalPseudo(b *Basis, species []*atoms.Species, positions []geom.Vec3) []float64 {
+	n := b.Grid.N
+	size := b.Grid.Size()
+	unit := 2 * math.Pi / b.Grid.L
+	// Accumulate V(G) on the full FFT grid in reciprocal space, then one
+	// inverse FFT. Group atoms by species so the form factor is computed
+	// once per (species, G).
+	vg := make([]complex128, size)
+	bySpecies := map[*atoms.Species][]geom.Vec3{}
+	for ai, sp := range species {
+		bySpecies[sp] = append(bySpecies[sp], positions[ai])
+	}
+	invVol := 1 / b.Volume()
+	for sp, pos := range bySpecies {
+		for ix := 0; ix < n; ix++ {
+			gx := float64(fold(ix, n)) * unit
+			for iy := 0; iy < n; iy++ {
+				gy := float64(fold(iy, n)) * unit
+				for iz := 0; iz < n; iz++ {
+					gz := float64(fold(iz, n)) * unit
+					g2 := gx*gx + gy*gy + gz*gz
+					ff := pseudo.LocalG(sp, g2) * invVol
+					if ff == 0 {
+						continue
+					}
+					// Structure factor Σ_I e^{−iG·R_I}.
+					var sre, sim float64
+					for _, r := range pos {
+						ph := -(gx*r.X + gy*r.Y + gz*r.Z)
+						sre += math.Cos(ph)
+						sim += math.Sin(ph)
+					}
+					vg[(ix*n+iy)*n+iz] += complex(ff*sre, ff*sim)
+				}
+			}
+		}
+	}
+	// V(r_j) = Σ_m V_m e^{+2πi mj/N} = N³ · Inverse.
+	b.plan.Inverse(vg)
+	scale := float64(size)
+	out := make([]float64, size)
+	for i, v := range vg {
+		out[i] = real(v) * scale
+	}
+	return out
+}
+
+// HartreeFFT solves ∇²V_H = −4πρ on the cell's FFT grid and returns
+// V_H(r). This is the "locally fast" Poisson path used inside domains;
+// the global problem uses internal/multigrid instead (GSLF hybrid, §3.2).
+func HartreeFFT(b *Basis, rho []float64) []float64 {
+	n := b.Grid.N
+	size := b.Grid.Size()
+	work := make([]complex128, size)
+	for i, v := range rho {
+		work[i] = complex(v, 0)
+	}
+	b.plan.Forward(work)
+	unit := 2 * math.Pi / b.Grid.L
+	for ix := 0; ix < n; ix++ {
+		gx := float64(fold(ix, n)) * unit
+		for iy := 0; iy < n; iy++ {
+			gy := float64(fold(iy, n)) * unit
+			for iz := 0; iz < n; iz++ {
+				idx := (ix*n+iy)*n + iz
+				gz := float64(fold(iz, n)) * unit
+				g2 := gx*gx + gy*gy + gz*gz
+				if g2 == 0 {
+					work[idx] = 0 // compensating background removes G=0
+					continue
+				}
+				work[idx] *= complex(4*math.Pi/g2, 0)
+			}
+		}
+	}
+	b.plan.Inverse(work)
+	out := make([]float64, size)
+	for i, v := range work {
+		out[i] = real(v)
+	}
+	return out
+}

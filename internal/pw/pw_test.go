@@ -1,0 +1,545 @@
+package pw
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"ldcdft/internal/atoms"
+	"ldcdft/internal/geom"
+	"ldcdft/internal/grid"
+	"ldcdft/internal/linalg"
+	"ldcdft/internal/pseudo"
+)
+
+func testBasis(t *testing.T, n int, l, ecut float64) *Basis {
+	t.Helper()
+	b, err := NewBasis(grid.New(n, l), ecut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestBasisSphere(t *testing.T) {
+	b := testBasis(t, 16, 10, 2.0)
+	if b.Np() < 50 || b.Np() > 500 {
+		t.Fatalf("unexpected basis size %d", b.Np())
+	}
+	// Every member satisfies the cutoff; G=0 present exactly once.
+	zero := 0
+	for i, g2 := range b.G2 {
+		if g2/2 > b.Ecut+1e-12 {
+			t.Fatalf("G %d above cutoff", i)
+		}
+		if g2 == 0 {
+			zero++
+		}
+	}
+	if zero != 1 {
+		t.Fatalf("expected exactly one G=0, got %d", zero)
+	}
+	// Closed under inversion: −G in sphere for every G.
+	seen := map[[3]int]bool{}
+	unit := 2 * math.Pi / b.Grid.L
+	for _, g := range b.G {
+		seen[[3]int{int(math.Round(g.X / unit)), int(math.Round(g.Y / unit)), int(math.Round(g.Z / unit))}] = true
+	}
+	for _, g := range b.G {
+		k := [3]int{int(math.Round(-g.X / unit)), int(math.Round(-g.Y / unit)), int(math.Round(-g.Z / unit))}
+		if !seen[k] {
+			t.Fatalf("basis not inversion symmetric at %v", k)
+		}
+	}
+}
+
+func TestBasisErrors(t *testing.T) {
+	if _, err := NewBasis(grid.New(4, 10), 100); err == nil {
+		t.Fatal("expected Nyquist error for huge cutoff")
+	}
+	if _, err := NewBasis(grid.New(8, 10), -1); err == nil {
+		t.Fatal("expected error for negative cutoff")
+	}
+}
+
+func TestRealSpaceRoundTrip(t *testing.T) {
+	b := testBasis(t, 12, 8, 2.0)
+	rng := rand.New(rand.NewSource(1))
+	c := make([]complex128, b.Np())
+	for i := range c {
+		c[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	work := make([]complex128, b.Grid.Size())
+	b.ToRealSpace(c, work)
+	got := make([]complex128, b.Np())
+	b.FromRealSpace(work, got)
+	for i := range c {
+		if cmplx.Abs(c[i]-got[i]) > 1e-10 {
+			t.Fatalf("roundtrip mismatch at %d", i)
+		}
+	}
+}
+
+func TestToRealSpaceIsPlaneWaveSum(t *testing.T) {
+	b := testBasis(t, 8, 5, 1.5)
+	// Single coefficient: ψ̃(r) must be exactly e^{iG·r}.
+	c := make([]complex128, b.Np())
+	pick := b.Np() / 2
+	c[pick] = 1
+	work := make([]complex128, b.Grid.Size())
+	b.ToRealSpace(c, work)
+	g := b.G[pick]
+	for ix := 0; ix < b.Grid.N; ix++ {
+		for iy := 0; iy < b.Grid.N; iy++ {
+			for iz := 0; iz < b.Grid.N; iz++ {
+				r := b.Grid.Point(ix, iy, iz)
+				want := cmplx.Exp(complex(0, g.Dot(r)))
+				got := work[(ix*b.Grid.N+iy)*b.Grid.N+iz]
+				if cmplx.Abs(got-want) > 1e-10 {
+					t.Fatalf("plane wave mismatch at (%d,%d,%d): %v vs %v", ix, iy, iz, got, want)
+				}
+			}
+		}
+	}
+}
+
+// buildDenseH constructs the explicit Np×Np Hamiltonian matrix by
+// applying H to unit vectors — the brute-force reference for the
+// iterative eigensolvers.
+func buildDenseH(h *Hamiltonian) *linalg.CMatrix {
+	np := h.Basis.Np()
+	dense := linalg.NewCMatrix(np, np)
+	scratch := h.NewScratch()
+	e := make([]complex128, np)
+	out := make([]complex128, np)
+	for j := 0; j < np; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		h.Apply(e, out, scratch)
+		for i := 0; i < np; i++ {
+			dense.Set(i, j, out[i])
+		}
+	}
+	return dense
+}
+
+// testHamiltonian builds a small Hamiltonian with a nontrivial local
+// potential and projectors for two atoms.
+func testHamiltonian(t *testing.T, withNl bool) (*Hamiltonian, []*atoms.Species, []geom.Vec3) {
+	t.Helper()
+	b := testBasis(t, 10, 8, 1.2)
+	species := []*atoms.Species{atoms.Silicon, atoms.Carbon}
+	positions := []geom.Vec3{{X: 2, Y: 2, Z: 2}, {X: 5.5, Y: 5.5, Z: 5.5}}
+	var proj *pseudo.Projectors
+	if withNl {
+		proj = pseudo.BuildProjectors(b.G, b.G2, b.Volume(), species, positions)
+	}
+	h := NewHamiltonian(b, proj)
+	copy(h.Vloc, BuildLocalPseudo(b, species, positions))
+	return h, species, positions
+}
+
+func TestHamiltonianHermitian(t *testing.T) {
+	h, _, _ := testHamiltonian(t, true)
+	rng := rand.New(rand.NewSource(2))
+	np := h.Basis.Np()
+	scratch := h.NewScratch()
+	x := make([]complex128, np)
+	y := make([]complex128, np)
+	hx := make([]complex128, np)
+	hy := make([]complex128, np)
+	for trial := 0; trial < 5; trial++ {
+		for i := 0; i < np; i++ {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			y[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		h.Apply(x, hx, scratch)
+		h.Apply(y, hy, scratch)
+		lhs := linalg.CDot(y, hx) // ⟨y|Hx⟩
+		rhs := linalg.CDot(hy, x) // ⟨Hy|x⟩
+		if cmplx.Abs(lhs-rhs) > 1e-8*(1+cmplx.Abs(lhs)) {
+			t.Fatalf("H not Hermitian: %v vs %v", lhs, rhs)
+		}
+	}
+}
+
+func TestApplyAllMatchesApply(t *testing.T) {
+	h, _, _ := testHamiltonian(t, true)
+	rng := rand.New(rand.NewSource(3))
+	np := h.Basis.Np()
+	nb := 5
+	psi := linalg.NewCMatrix(np, nb)
+	for i := range psi.Data {
+		psi.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	for _, mode := range []NonlocalVariant{NonlocalBLAS3, NonlocalBLAS2} {
+		h.NlMode = mode
+		all := h.ApplyAll(psi)
+		scratch := h.NewScratch()
+		col := make([]complex128, np)
+		out := make([]complex128, np)
+		for n := 0; n < nb; n++ {
+			psi.Col(n, col)
+			h.Apply(col, out, scratch)
+			for i := 0; i < np; i++ {
+				if cmplx.Abs(all.At(i, n)-out[i]) > 1e-9 {
+					t.Fatalf("mode %v band %d: ApplyAll differs from Apply at %d", mode, n, i)
+				}
+			}
+		}
+	}
+}
+
+func TestFreeElectronEigenvalues(t *testing.T) {
+	// V = 0, no projectors → eigenvalues are the sorted ½|G|².
+	b := testBasis(t, 8, 6, 1.0)
+	h := NewHamiltonian(b, nil)
+	rng := rand.New(rand.NewSource(4))
+	nb := 4
+	psi, err := RandomOrbitals(b, nb, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveAllBand(h, psi, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]float64(nil), b.G2...)
+	for i := range want {
+		want[i] /= 2
+	}
+	sortFloats(want)
+	for n := 0; n < nb; n++ {
+		if math.Abs(res.Eigenvalues[n]-want[n]) > 1e-6 {
+			t.Fatalf("band %d: got %g want %g", n, res.Eigenvalues[n], want[n])
+		}
+	}
+}
+
+func sortFloats(x []float64) {
+	for i := 1; i < len(x); i++ {
+		v := x[i]
+		j := i - 1
+		for j >= 0 && x[j] > v {
+			x[j+1] = x[j]
+			j--
+		}
+		x[j+1] = v
+	}
+}
+
+func TestSolveAllBandMatchesDense(t *testing.T) {
+	h, _, _ := testHamiltonian(t, true)
+	dense := buildDenseH(h)
+	wDense, _, err := linalg.HermitianEigen(dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb := 6
+	rng := rand.New(rand.NewSource(5))
+	psi, err := RandomOrbitals(h.Basis, nb, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveAllBand(h, psi, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < nb; n++ {
+		if math.Abs(res.Eigenvalues[n]-wDense[n]) > 1e-5 {
+			t.Fatalf("band %d: iterative %g vs dense %g (residual %g)",
+				n, res.Eigenvalues[n], wDense[n], res.MaxResidual)
+		}
+	}
+	// Orthonormality of converged states.
+	s := linalg.CGemmCT(psi, psi)
+	for i := 0; i < nb; i++ {
+		for j := 0; j < nb; j++ {
+			want := complex128(0)
+			if i == j {
+				want = 1
+			}
+			if cmplx.Abs(s.At(i, j)-want) > 1e-8 {
+				t.Fatal("converged states not orthonormal")
+			}
+		}
+	}
+}
+
+func TestSolveBandByBandMatchesAllBand(t *testing.T) {
+	h, _, _ := testHamiltonian(t, true)
+	nb := 4
+	rng := rand.New(rand.NewSource(6))
+	psiA, err := RandomOrbitals(h.Basis, nb, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psiB := psiA.Clone()
+	resA, err := SolveAllBand(h, psiA, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := SolveBandByBand(h, psiB, 6, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < nb; n++ {
+		if math.Abs(resA.Eigenvalues[n]-resB.Eigenvalues[n]) > 1e-4 {
+			t.Fatalf("band %d: all-band %g vs band-by-band %g",
+				n, resA.Eigenvalues[n], resB.Eigenvalues[n])
+		}
+	}
+}
+
+func TestOrthonormalize(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	psi := linalg.NewCMatrix(50, 6)
+	for i := range psi.Data {
+		psi.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	if err := Orthonormalize(psi); err != nil {
+		t.Fatal(err)
+	}
+	s := linalg.CGemmCT(psi, psi)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			want := complex128(0)
+			if i == j {
+				want = 1
+			}
+			if cmplx.Abs(s.At(i, j)-want) > 1e-10 {
+				t.Fatalf("overlap (%d,%d) = %v", i, j, s.At(i, j))
+			}
+		}
+	}
+}
+
+func TestDensityIntegratesToElectronCount(t *testing.T) {
+	h, _, _ := testHamiltonian(t, false)
+	b := h.Basis
+	rng := rand.New(rand.NewSource(8))
+	nb := 5
+	psi, err := RandomOrbitals(b, nb, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	occ := []float64{2, 2, 1.5, 0.5, 0}
+	rho := Density(b, psi, occ)
+	var total float64
+	for _, v := range rho {
+		total += v
+	}
+	total *= b.Grid.DV()
+	want := 6.0
+	if math.Abs(total-want) > 1e-9 {
+		t.Fatalf("∫ρ = %g, want %g", total, want)
+	}
+	// Density is non-negative.
+	for i, v := range rho {
+		if v < -1e-12 {
+			t.Fatalf("negative density %g at %d", v, i)
+		}
+	}
+}
+
+func TestHartreeFFTMatchesAnalytic(t *testing.T) {
+	// Single cosine mode: ∇²V = −4πρ with ρ = cos(G·r) → V = 4π/|G|² cos.
+	b := testBasis(t, 16, 10, 2.0)
+	g := b.Grid
+	rho := make([]float64, g.Size())
+	unit := 2 * math.Pi / g.L
+	for ix := 0; ix < g.N; ix++ {
+		for iy := 0; iy < g.N; iy++ {
+			for iz := 0; iz < g.N; iz++ {
+				p := g.Point(ix, iy, iz)
+				rho[(ix*g.N+iy)*g.N+iz] = math.Cos(unit * p.X)
+			}
+		}
+	}
+	vh := HartreeFFT(b, rho)
+	want := 4 * math.Pi / (unit * unit)
+	for ix := 0; ix < g.N; ix++ {
+		p := g.Point(ix, 0, 0)
+		got := vh[(ix*g.N)*g.N]
+		if math.Abs(got-want*math.Cos(unit*p.X)) > 1e-8*want {
+			t.Fatalf("Hartree mismatch at ix=%d: %g vs %g", ix, got, want*math.Cos(unit*p.X))
+		}
+	}
+}
+
+func TestLocalForcesFiniteDifference(t *testing.T) {
+	b := testBasis(t, 10, 8, 1.2)
+	species := []*atoms.Species{atoms.Silicon, atoms.Oxygen}
+	base := []geom.Vec3{{X: 2.1, Y: 3.0, Z: 4.2}, {X: 5.0, Y: 4.4, Z: 3.1}}
+	// Fixed density: smooth positive blob.
+	rho := make([]float64, b.Grid.Size())
+	g := b.Grid
+	for ix := 0; ix < g.N; ix++ {
+		for iy := 0; iy < g.N; iy++ {
+			for iz := 0; iz < g.N; iz++ {
+				p := g.Point(ix, iy, iz)
+				rho[(ix*g.N+iy)*g.N+iz] = 0.1 + 0.05*math.Cos(2*math.Pi*p.X/g.L)*math.Sin(2*math.Pi*p.Y/g.L)
+			}
+		}
+	}
+	eLoc := func(pos []geom.Vec3) float64 {
+		v := BuildLocalPseudo(b, species, pos)
+		var e float64
+		for i := range v {
+			e += v[i] * rho[i]
+		}
+		return e * g.DV()
+	}
+	forces := LocalForces(b, rho, species, base)
+	const hstep = 1e-4
+	for ai := range base {
+		for dim := 0; dim < 3; dim++ {
+			plus := clonePositions(base)
+			minus := clonePositions(base)
+			switch dim {
+			case 0:
+				plus[ai].X += hstep
+				minus[ai].X -= hstep
+			case 1:
+				plus[ai].Y += hstep
+				minus[ai].Y -= hstep
+			default:
+				plus[ai].Z += hstep
+				minus[ai].Z -= hstep
+			}
+			fd := -(eLoc(plus) - eLoc(minus)) / (2 * hstep)
+			var an float64
+			switch dim {
+			case 0:
+				an = forces[ai].X
+			case 1:
+				an = forces[ai].Y
+			default:
+				an = forces[ai].Z
+			}
+			if math.Abs(an-fd) > 1e-6*(1+math.Abs(fd)) {
+				t.Fatalf("atom %d dim %d: analytic %g vs FD %g", ai, dim, an, fd)
+			}
+		}
+	}
+}
+
+func clonePositions(p []geom.Vec3) []geom.Vec3 {
+	return append([]geom.Vec3(nil), p...)
+}
+
+func TestIonIonFiniteDifference(t *testing.T) {
+	cell := geom.Cell{L: 12}
+	species := []*atoms.Species{atoms.Lithium, atoms.Aluminum, atoms.Oxygen}
+	base := []geom.Vec3{{X: 3, Y: 3, Z: 3}, {X: 6, Y: 5, Z: 4}, {X: 4, Y: 7, Z: 6}}
+	_, forces := IonIon(cell, species, base)
+	const hstep = 1e-5
+	for ai := range base {
+		for dim := 0; dim < 3; dim++ {
+			plus := clonePositions(base)
+			minus := clonePositions(base)
+			switch dim {
+			case 0:
+				plus[ai].X += hstep
+				minus[ai].X -= hstep
+			case 1:
+				plus[ai].Y += hstep
+				minus[ai].Y -= hstep
+			default:
+				plus[ai].Z += hstep
+				minus[ai].Z -= hstep
+			}
+			ep, _ := IonIon(cell, species, plus)
+			em, _ := IonIon(cell, species, minus)
+			fd := -(ep - em) / (2 * hstep)
+			var an float64
+			switch dim {
+			case 0:
+				an = forces[ai].X
+			case 1:
+				an = forces[ai].Y
+			default:
+				an = forces[ai].Z
+			}
+			if math.Abs(an-fd) > 1e-6*(1+math.Abs(fd)) {
+				t.Fatalf("ion-ion atom %d dim %d: analytic %g vs FD %g", ai, dim, an, fd)
+			}
+		}
+	}
+}
+
+func TestIonIonNewtonThirdLaw(t *testing.T) {
+	cell := geom.Cell{L: 15}
+	rng := rand.New(rand.NewSource(9))
+	var species []*atoms.Species
+	var pos []geom.Vec3
+	for i := 0; i < 12; i++ {
+		species = append(species, atoms.Hydrogen)
+		pos = append(pos, geom.Vec3{X: rng.Float64() * 15, Y: rng.Float64() * 15, Z: rng.Float64() * 15})
+	}
+	_, forces := IonIon(cell, species, pos)
+	var net geom.Vec3
+	for _, f := range forces {
+		net = net.Add(f)
+	}
+	if net.Norm() > 1e-10 {
+		t.Fatalf("net ion-ion force %g", net.Norm())
+	}
+}
+
+func TestNonlocalForcesFiniteDifference(t *testing.T) {
+	b := testBasis(t, 10, 8, 1.2)
+	species := []*atoms.Species{atoms.Aluminum}
+	base := []geom.Vec3{{X: 3.7, Y: 4.1, Z: 4.9}}
+	rng := rand.New(rand.NewSource(10))
+	nb := 3
+	psi, err := RandomOrbitals(b, nb, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	occ := []float64{2, 2, 1}
+	eNl := func(pos []geom.Vec3) float64 {
+		pr := pseudo.BuildProjectors(b.G, b.G2, b.Volume(), species, pos)
+		col := make([]complex128, b.Np())
+		var e float64
+		for n := 0; n < nb; n++ {
+			psi.Col(n, col)
+			e += occ[n] * pr.Expectation(col)
+		}
+		return e
+	}
+	pr := pseudo.BuildProjectors(b.G, b.G2, b.Volume(), species, base)
+	forces := NonlocalForces(b, pr, psi, occ, 1)
+	const hstep = 1e-5
+	for dim := 0; dim < 3; dim++ {
+		plus := clonePositions(base)
+		minus := clonePositions(base)
+		switch dim {
+		case 0:
+			plus[0].X += hstep
+			minus[0].X -= hstep
+		case 1:
+			plus[0].Y += hstep
+			minus[0].Y -= hstep
+		default:
+			plus[0].Z += hstep
+			minus[0].Z -= hstep
+		}
+		fd := -(eNl(plus) - eNl(minus)) / (2 * hstep)
+		var an float64
+		switch dim {
+		case 0:
+			an = forces[0].X
+		case 1:
+			an = forces[0].Y
+		default:
+			an = forces[0].Z
+		}
+		if math.Abs(an-fd) > 1e-6*(1+math.Abs(fd)) {
+			t.Fatalf("nonlocal dim %d: analytic %g vs FD %g", dim, an, fd)
+		}
+	}
+}

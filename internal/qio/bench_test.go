@@ -1,0 +1,23 @@
+package qio
+
+import (
+	"testing"
+
+	"ldcdft/internal/atoms"
+)
+
+func BenchmarkCompressSnapshot(b *testing.B) {
+	sys := atoms.BuildSiC(4) // 512 atoms
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(sys, 12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHilbertIndex(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		hilbertIndex(12, uint32(i)&4095, uint32(i>>3)&4095, uint32(i>>6)&4095)
+	}
+}

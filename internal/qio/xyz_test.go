@@ -1,0 +1,69 @@
+package qio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ldcdft/internal/atoms"
+)
+
+func TestXYZRoundTrip(t *testing.T) {
+	sys := atoms.BuildSiC(1)
+	var buf bytes.Buffer
+	if err := WriteXYZ(&buf, sys, "step=1 T=300"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadXYZ(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumAtoms() != sys.NumAtoms() {
+		t.Fatalf("atom count %d vs %d", got.NumAtoms(), sys.NumAtoms())
+	}
+	if d := got.Cell.L - sys.Cell.L; d > 1e-6 || d < -1e-6 {
+		t.Fatalf("cell %g vs %g", got.Cell.L, sys.Cell.L)
+	}
+	for i := range sys.Atoms {
+		if got.Atoms[i].Species != sys.Atoms[i].Species {
+			t.Fatalf("species mismatch at %d", i)
+		}
+		if got.Cell.Distance(got.Atoms[i].Position, sys.Atoms[i].Position) > 1e-6 {
+			t.Fatalf("position mismatch at %d", i)
+		}
+	}
+}
+
+func TestXYZMultiFrame(t *testing.T) {
+	sys := atoms.BuildSiC(1)
+	var buf bytes.Buffer
+	for f := 0; f < 3; f++ {
+		if err := WriteXYZ(&buf, sys, "frame"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr := NewTrajectoryReader(&buf)
+	for f := 0; f < 3; f++ {
+		if _, err := tr.Next(); err != nil {
+			t.Fatalf("frame %d: %v", f, err)
+		}
+	}
+	if _, err := tr.Next(); err == nil {
+		t.Fatal("expected EOF after last frame")
+	}
+}
+
+func TestXYZErrors(t *testing.T) {
+	if _, err := ReadXYZ(strings.NewReader("oops")); err == nil {
+		t.Fatal("garbage header must fail")
+	}
+	if _, err := ReadXYZ(strings.NewReader("1\nno cell tag\nH 0 0 0\n")); err == nil {
+		t.Fatal("missing cell tag must fail")
+	}
+	if _, err := ReadXYZ(strings.NewReader("1\ncell_bohr=10\nXx 0 0 0\n")); err == nil {
+		t.Fatal("unknown species must fail")
+	}
+	if _, err := ReadXYZ(strings.NewReader("2\ncell_bohr=10\nH 0 0 0\n")); err == nil {
+		t.Fatal("truncated frame must fail")
+	}
+}

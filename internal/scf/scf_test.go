@@ -1,0 +1,249 @@
+package scf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ldcdft/internal/atoms"
+	"ldcdft/internal/geom"
+)
+
+func TestFermiOccupation(t *testing.T) {
+	if f := FermiOccupation(0, 0, 0.1); math.Abs(f-1) > 1e-12 {
+		t.Fatalf("f(ε=μ) = %g, want 1", f)
+	}
+	if f := FermiOccupation(-10, 0, 0.1); math.Abs(f-2) > 1e-12 {
+		t.Fatal("deep state should be fully occupied")
+	}
+	if f := FermiOccupation(10, 0, 0.1); f != 0 {
+		t.Fatal("high state should be empty")
+	}
+	// kT = 0 limit.
+	if FermiOccupation(-1, 0, 0) != 2 || FermiOccupation(1, 0, 0) != 0 || FermiOccupation(0, 0, 0) != 1 {
+		t.Fatal("kT=0 step function wrong")
+	}
+}
+
+func TestChemicalPotentialExact(t *testing.T) {
+	eps := []float64{-1, -0.5, 0, 0.5, 1}
+	for _, nelec := range []float64{1, 2, 4, 5, 7.5, 9} {
+		mu, err := ChemicalPotential(eps, nelec, 0.05)
+		if err != nil {
+			t.Fatalf("nelec=%g: %v", nelec, err)
+		}
+		var n float64
+		for _, e := range eps {
+			n += FermiOccupation(e, mu, 0.05)
+		}
+		if math.Abs(n-nelec) > 1e-9 {
+			t.Fatalf("nelec=%g: got %g at μ=%g", nelec, n, mu)
+		}
+	}
+}
+
+func TestChemicalPotentialMidGap(t *testing.T) {
+	// Two levels, two electrons, tiny kT: μ must sit between them.
+	eps := []float64{-1, 1}
+	mu, err := ChemicalPotential(eps, 2, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mu < -0.9 || mu > 0.9 {
+		t.Fatalf("mid-gap μ = %g", mu)
+	}
+}
+
+func TestChemicalPotentialErrors(t *testing.T) {
+	if _, err := ChemicalPotential(nil, 1, 0.1); err == nil {
+		t.Fatal("empty eigenvalues should error")
+	}
+	if _, err := ChemicalPotential([]float64{0}, 5, 0.1); err == nil {
+		t.Fatal("overfilled system should error")
+	}
+}
+
+// Property: electron count is monotone in μ and the solver hits it.
+func TestChemicalPotentialProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		eps := make([]float64, n)
+		for i := range eps {
+			eps[i] = rng.NormFloat64() * 2
+		}
+		kT := 0.01 + rng.Float64()*0.2
+		nelec := rng.Float64() * 2 * float64(n)
+		mu, err := ChemicalPotential(eps, nelec, kT)
+		if err != nil {
+			return false
+		}
+		var count float64
+		for _, e := range eps {
+			count += FermiOccupation(e, mu, kT)
+		}
+		return math.Abs(count-nelec) < 1e-8*(1+nelec)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearMixer(t *testing.T) {
+	m := &LinearMixer{Alpha: 0.25}
+	got := m.Mix([]float64{1, 2}, []float64{5, 6})
+	if math.Abs(got[0]-2) > 1e-14 || math.Abs(got[1]-3) > 1e-14 {
+		t.Fatalf("linear mix got %v", got)
+	}
+}
+
+func TestAndersonMixerFixedPoint(t *testing.T) {
+	// Iterating x ← Mix(x, g(x)) for the linear map g(x) = a + 0.6x must
+	// converge to the fixed point faster than plain linear mixing.
+	g := func(x []float64) []float64 {
+		out := make([]float64, len(x))
+		for i := range x {
+			out[i] = 1 + 0.6*x[i]
+		}
+		return out
+	}
+	iterate := func(m Mixer) int {
+		x := []float64{0, 0, 0}
+		for i := 1; i <= 200; i++ {
+			out := g(x)
+			var res float64
+			for j := range x {
+				res += math.Abs(out[j] - x[j])
+			}
+			if res < 1e-10 {
+				return i
+			}
+			x = m.Mix(x, out)
+		}
+		return 200
+	}
+	nl := iterate(&LinearMixer{Alpha: 0.3})
+	na := iterate(&AndersonMixer{Alpha: 0.3})
+	if na >= nl {
+		t.Fatalf("Anderson (%d iters) not faster than linear (%d)", na, nl)
+	}
+}
+
+// testSystem returns a tiny 2-atom system cheap enough for full SCF in a
+// unit test.
+func testSystem() *atoms.System {
+	return &atoms.System{
+		Cell: geom.Cell{L: 8},
+		Atoms: []atoms.Atom{
+			{Species: atoms.Silicon, Position: geom.Vec3{X: 2, Y: 2, Z: 2}},
+			{Species: atoms.Carbon, Position: geom.Vec3{X: 5.2, Y: 5.2, Z: 5.2}},
+		},
+	}
+}
+
+func testConfig() Config {
+	return Config{GridN: 10, Ecut: 1.2, KT: 0.05, MaxIter: 80,
+		MixAlpha: 0.3, Anderson: true, EigenIters: 4, Seed: 1}
+}
+
+func TestSCFConverges(t *testing.T) {
+	res, err := Solve(testSystem(), testConfig())
+	if err != nil {
+		t.Fatalf("SCF failed after %d iterations: %v", res.Iterations, err)
+	}
+	if !res.Converged {
+		t.Fatal("not converged")
+	}
+	// Electron count.
+	var total float64
+	for _, v := range res.Rho {
+		total += v
+	}
+	total *= res.Engine.Basis.Grid.DV()
+	if math.Abs(total-8) > 1e-6 {
+		t.Fatalf("∫ρ = %g, want 8", total)
+	}
+	// Occupations in [0, 2] and consistent with eigenvalue order.
+	for i, f := range res.Occupations {
+		if f < -1e-12 || f > 2+1e-12 {
+			t.Fatalf("occupation %d = %g out of range", i, f)
+		}
+		if i > 0 && res.Eigenvalues[i] < res.Eigenvalues[i-1]-1e-9 {
+			t.Fatal("eigenvalues not sorted")
+		}
+	}
+	// Energy parts all finite; total matches sum.
+	if math.Abs(res.Parts.Total()-res.Energy) > 1e-12 {
+		t.Fatal("energy parts inconsistent")
+	}
+	if math.IsNaN(res.Energy) || math.IsInf(res.Energy, 0) {
+		t.Fatal("non-finite energy")
+	}
+	if len(res.Forces) != 2 {
+		t.Fatal("forces missing")
+	}
+}
+
+func TestSCFBandByBandMatchesAllBand(t *testing.T) {
+	cfg := testConfig()
+	resA, err := Solve(testSystem(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.BandByBand = true
+	cfg.EigenIters = 8
+	resB, err := Solve(testSystem(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(resA.Energy-resB.Energy) > 5e-4*math.Abs(resA.Energy) {
+		t.Fatalf("BLAS3 SCF energy %g vs BLAS2 %g", resA.Energy, resB.Energy)
+	}
+}
+
+func TestSCFDeterministic(t *testing.T) {
+	r1, err1 := Solve(testSystem(), testConfig())
+	r2, err2 := Solve(testSystem(), testConfig())
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if r1.Energy != r2.Energy {
+		t.Fatalf("same seed gave different energies: %g vs %g", r1.Energy, r2.Energy)
+	}
+}
+
+func TestSCFRejectsBadConfig(t *testing.T) {
+	cfg := testConfig()
+	cfg.NBands = 2 // cannot hold 8 electrons
+	if _, err := Solve(testSystem(), cfg); err == nil {
+		t.Fatal("expected error for too few bands")
+	}
+	sys := testSystem()
+	sys.Cell.L = -5
+	if _, err := Solve(sys, testConfig()); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestInitialDensityNormalized(t *testing.T) {
+	sys := testSystem()
+	species := []*atoms.Species{sys.Atoms[0].Species, sys.Atoms[1].Species}
+	pos := []geom.Vec3{sys.Atoms[0].Position, sys.Atoms[1].Position}
+	eng, err := NewEngine(sys.Cell.L, 10, 1.2, 6, species, pos, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho := eng.InitialDensity()
+	var total float64
+	for _, v := range rho {
+		if v < 0 {
+			t.Fatal("initial density negative")
+		}
+		total += v
+	}
+	total *= eng.Basis.Grid.DV()
+	if math.Abs(total-8) > 1e-9 {
+		t.Fatalf("initial density integrates to %g, want 8", total)
+	}
+}

@@ -1,0 +1,174 @@
+// Package qmd is the public API of the LDC-DFT reproduction: quantum
+// molecular dynamics with the lean divide-and-conquer density functional
+// theory algorithm of Nomura et al., "Metascalable Quantum Molecular
+// Dynamics Simulations of Hydrogen-on-Demand" (SC14).
+//
+// The package re-exports the building blocks a downstream user needs —
+// atomic systems and builders, the LDC-DFT engine, the conventional
+// O(N³) baseline, the MD integrator, the reactive hydrogen-on-demand
+// surrogate, and the Blue Gene/Q performance model — and provides the
+// high-level QMD driver RunQMD.
+package qmd
+
+import (
+	"fmt"
+
+	"ldcdft/internal/atoms"
+	"ldcdft/internal/core"
+	"ldcdft/internal/geom"
+	"ldcdft/internal/grid"
+	"ldcdft/internal/machine"
+	"ldcdft/internal/md"
+	"ldcdft/internal/reactive"
+	"ldcdft/internal/scf"
+)
+
+// Re-exported atomic-structure types and builders.
+type (
+	// System is a periodic atomic configuration.
+	System = atoms.System
+	// Species is a chemical element with model pseudopotential data.
+	Species = atoms.Species
+	// Atom is one atom of a System.
+	Atom = atoms.Atom
+	// Vec3 is a 3-vector in Bohr.
+	Vec3 = geom.Vec3
+	// Cell is a periodic cubic cell.
+	Cell = geom.Cell
+)
+
+// Predefined species.
+var (
+	Hydrogen = atoms.Hydrogen
+	Oxygen   = atoms.Oxygen
+	Lithium  = atoms.Lithium
+	Aluminum = atoms.Aluminum
+	Silicon  = atoms.Silicon
+	Carbon   = atoms.Carbon
+	Cadmium  = atoms.Cadmium
+	Selenium = atoms.Selenium
+)
+
+// BuildSiC builds an n×n×n 3C-SiC supercell (8n³ atoms) — the
+// weak-scaling workload of the paper's §5.1.
+func BuildSiC(n int) *System { return atoms.BuildSiC(n) }
+
+// LDC-DFT engine (the paper's primary contribution).
+type (
+	// LDCConfig configures an LDC-DFT calculation.
+	LDCConfig = core.Config
+	// LDCEngine is a live LDC-DFT calculation.
+	LDCEngine = core.Engine
+	// LDCMode selects LDC (boundary potential on) or original DC.
+	LDCMode = core.Mode
+	// SolveResult is the outcome of an SCF solve.
+	SolveResult = core.SolveResult
+)
+
+// Boundary-condition modes.
+const (
+	ModeLDC = core.ModeLDC
+	ModeDC  = core.ModeDC
+)
+
+// NewLDCEngine builds an LDC-DFT engine for the system.
+func NewLDCEngine(sys *System, cfg LDCConfig) (*LDCEngine, error) {
+	return core.NewEngine(sys, cfg)
+}
+
+// SolveConventional runs the O(N³) plane-wave DFT baseline (§5.5
+// verification and §5.2 crossover baseline).
+func SolveConventional(sys *System, cfg scf.Config) (*scf.Result, error) {
+	return scf.Solve(sys, cfg)
+}
+
+// ConventionalConfig is the configuration of the O(N³) baseline.
+type ConventionalConfig = scf.Config
+
+// Molecular dynamics.
+type (
+	// Integrator advances a System with velocity Verlet.
+	Integrator = md.Integrator
+	// ForceField supplies energies and forces to the integrator.
+	ForceField = md.ForceField
+)
+
+// NewIntegrator wraps a force field with the default (paper) time step
+// of 0.242 fs when dtFs is 0.
+func NewIntegrator(ff ForceField, dtFs float64) *Integrator {
+	return md.NewIntegrator(ff, dtFs)
+}
+
+// NewReactiveField returns the calibrated reactive LiAl-water surrogate
+// force field of the hydrogen-on-demand application (§6).
+func NewReactiveField() ForceField { return reactive.NewField() }
+
+// BlueGeneQ returns the modelled Blue Gene/Q (Mira) machine.
+func BlueGeneQ() *machine.Machine { return machine.BlueGeneQ() }
+
+// DFTForceField adapts the LDC-DFT engine to the MD integrator: each
+// force evaluation rebuilds the domain decomposition for the moved atoms
+// and warm-starts the SCF from the previous step's converged density.
+type DFTForceField struct {
+	Cfg LDCConfig
+
+	prevRho *grid.Field
+	// LastSCFIters reports the SCF iterations of the latest evaluation.
+	LastSCFIters int
+	// LastEngine exposes the most recent engine (density, μ, …).
+	LastEngine *LDCEngine
+}
+
+// Compute implements ForceField.
+func (f *DFTForceField) Compute(sys *System) (float64, []Vec3, error) {
+	eng, err := core.NewEngine(sys, f.Cfg)
+	if err != nil {
+		return 0, nil, fmt.Errorf("qmd: engine rebuild: %w", err)
+	}
+	if f.prevRho != nil {
+		if err := eng.SetDensity(f.prevRho); err != nil {
+			return 0, nil, err
+		}
+	}
+	res, err := eng.Solve()
+	if err != nil {
+		return 0, nil, fmt.Errorf("qmd: SCF: %w", err)
+	}
+	f.prevRho = eng.Rho
+	f.LastSCFIters = res.Iterations
+	f.LastEngine = eng
+	forces, err := eng.Forces()
+	if err != nil {
+		return 0, nil, err
+	}
+	return res.Energy, forces, nil
+}
+
+// QMDResult summarizes a quantum MD trajectory.
+type QMDResult struct {
+	Steps         int
+	SCFIterations int // total across steps (the paper counts 129,208 for its production run)
+	Energies      []float64
+	Temperatures  []float64
+	FinalSystem   *System
+}
+
+// RunQMD runs an LDC-DFT quantum MD trajectory: the Fig. 2 SCF loop
+// inside a velocity-Verlet loop.
+func RunQMD(sys *System, cfg LDCConfig, steps int, dtFs float64) (*QMDResult, error) {
+	ff := &DFTForceField{Cfg: cfg}
+	in := md.NewIntegrator(ff, dtFs)
+	out := &QMDResult{}
+	work := sys.Clone()
+	for i := 0; i < steps; i++ {
+		if err := in.Step(work); err != nil {
+			return out, fmt.Errorf("qmd: MD step %d: %w", i+1, err)
+		}
+		out.Steps++
+		out.SCFIterations += ff.LastSCFIters
+		out.Energies = append(out.Energies, in.PotentialEnergy())
+		out.Temperatures = append(out.Temperatures, work.Temperature())
+	}
+	out.FinalSystem = work
+	return out, nil
+}
