@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test vet race bench
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-check the concurrency-heavy packages (goroutine pool, collective
+# I/O, parallel SCF assembly, atomic perf counters). -short skips the
+# full SCF-convergence solves (minutes each under the race detector)
+# while keeping every concurrency path: pool error/panic ordering,
+# parallel SCFStep, collective writes, registry hammering.
+race: vet
+	$(GO) test -race -short ./internal/bsd/... ./internal/qio/... ./internal/core/... ./internal/perf/...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...

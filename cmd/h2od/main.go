@@ -12,9 +12,11 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"time"
 
 	"ldcdft/internal/analysis"
 	"ldcdft/internal/atoms"
+	"ldcdft/internal/perf"
 	"ldcdft/internal/qio"
 	"ldcdft/internal/reactive"
 	"ldcdft/internal/units"
@@ -24,13 +26,24 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("h2od: ")
 	var (
-		pairs = flag.Int("pairs", 30, "n in LinAln (paper: 30, 135, 441)")
-		tempK = flag.Float64("temp", 1500, "temperature (K)")
-		steps = flag.Int("steps", 4000, "MD steps (paper production: 21,140)")
-		seed  = flag.Int64("seed", 1, "random seed")
-		snap  = flag.String("snapshot", "", "write a compressed final snapshot to this file")
+		pairs   = flag.Int("pairs", 30, "n in LinAln (paper: 30, 135, 441)")
+		tempK   = flag.Float64("temp", 1500, "temperature (K)")
+		steps   = flag.Int("steps", 4000, "MD steps (paper production: 21,140)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		snap    = flag.String("snapshot", "", "write a compressed final snapshot to this file")
+		doPerf  = flag.Bool("perf", false, "print the per-phase performance report after the run")
+		perfJS  = flag.String("perf-json", "", "write the per-phase report as JSON to this file")
+		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := perf.StartCPUProfile(*cpuProf)
+	if err != nil {
+		log.Fatalf("%v", err)
+	}
+	defer stopProf()
+	perf.Global.Reset()
+	perf.Default.Reset()
 
 	rng := rand.New(rand.NewSource(*seed))
 	sys, err := atoms.BuildLiAlInWater(atoms.LiAlParticleSpec{PairCount: *pairs}, rng)
@@ -91,5 +104,23 @@ func main() {
 		}
 		fmt.Printf("snapshot: %d atoms → %d bytes (%.1f× compression) → %s\n",
 			s.N, len(s.Data), s.Ratio(), *snap)
+	}
+
+	if *doPerf {
+		fmt.Printf("\nper-phase performance report (wall %s):\n", perf.Default.Wall().Round(time.Millisecond))
+		if err := perf.Default.WriteText(os.Stdout); err != nil {
+			log.Fatalf("perf: %v", err)
+		}
+	}
+	if *perfJS != "" {
+		f, err := os.Create(*perfJS)
+		if err != nil {
+			log.Fatalf("perf-json: %v", err)
+		}
+		defer f.Close()
+		if err := perf.Default.WriteJSON(f); err != nil {
+			log.Fatalf("perf-json: %v", err)
+		}
+		fmt.Printf("per-phase JSON report written to %s\n", *perfJS)
 	}
 }

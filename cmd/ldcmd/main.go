@@ -14,8 +14,10 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"time"
 
 	qmd "ldcdft"
+	"ldcdft/internal/perf"
 	"ldcdft/internal/qio"
 )
 
@@ -34,8 +36,19 @@ func main() {
 		dcMode  = flag.Bool("dc", false, "use original DC (no boundary potential)")
 		seed    = flag.Int64("seed", 1, "random seed")
 		xyzPath = flag.String("xyz", "", "write the trajectory to this XYZ file")
+		doPerf  = flag.Bool("perf", false, "print the per-phase performance report after the run")
+		perfJS  = flag.String("perf-json", "", "write the per-phase report as JSON to this file")
+		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := perf.StartCPUProfile(*cpuProf)
+	if err != nil {
+		log.Fatalf("%v", err)
+	}
+	defer stopProf()
+	perf.Global.Reset()
+	perf.Default.Reset()
 
 	sys := qmd.BuildSiC(*cells)
 	sys.InitVelocities(*tempK, rand.New(rand.NewSource(*seed)))
@@ -80,4 +93,22 @@ func main() {
 	}
 	fmt.Printf("total SCF iterations: %d (%.1f per MD step)\n",
 		res.SCFIterations, float64(res.SCFIterations)/float64(res.Steps))
+
+	if *doPerf {
+		fmt.Printf("\nper-phase performance report (wall %s):\n", perf.Default.Wall().Round(time.Millisecond))
+		if err := perf.Default.WriteText(os.Stdout); err != nil {
+			log.Fatalf("perf: %v", err)
+		}
+	}
+	if *perfJS != "" {
+		f, err := os.Create(*perfJS)
+		if err != nil {
+			log.Fatalf("perf-json: %v", err)
+		}
+		defer f.Close()
+		if err := perf.Default.WriteJSON(f); err != nil {
+			log.Fatalf("perf-json: %v", err)
+		}
+		fmt.Printf("per-phase JSON report written to %s\n", *perfJS)
+	}
 }

@@ -1,19 +1,38 @@
 // Command scalebench prints the modelled weak- and strong-scaling
 // experiments of the paper (Figs. 5 and 6) on the Blue Gene/Q machine
-// model, using the calibrated LDC-DFT cost model.
+// model, using the calibrated LDC-DFT cost model. With -perf it
+// additionally runs a small real LDC-DFT workload in this process and
+// prints the measured per-phase report (the tables themselves are pure
+// model arithmetic and record no phases).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
 
 	qmd "ldcdft"
+	"ldcdft/internal/perf"
 )
 
 func main() {
+	log.SetFlags(0)
+	log.SetPrefix("scalebench: ")
 	weak := flag.Bool("weak", true, "run the weak-scaling experiment (Fig. 5)")
 	strong := flag.Bool("strong", true, "run the strong-scaling experiment (Fig. 6)")
+	doPerf := flag.Bool("perf", false, "run a small real LDC-DFT workload and print the per-phase report")
+	perfJS := flag.String("perf-json", "", "write the per-phase report as JSON to this file")
+	cpuProf := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	flag.Parse()
+
+	stopProf, err := perf.StartCPUProfile(*cpuProf)
+	if err != nil {
+		log.Fatalf("%v", err)
+	}
+	defer stopProf()
 
 	if *weak {
 		fmt.Println("Fig. 5 — weak scaling: 64·P-atom SiC on P Blue Gene/Q cores")
@@ -37,5 +56,45 @@ func main() {
 				pt.Cores, pt.WallClock, base/pt.WallClock, pt.Efficiency)
 		}
 		fmt.Println("paper: speedup 12.85 (efficiency 0.803) at 16× cores")
+	}
+
+	if *doPerf || *perfJS != "" {
+		perf.Global.Reset()
+		perf.Default.Reset()
+		fmt.Println("\nrunning one MD step of an 8-atom SiC cell to measure real phases...")
+		sys := qmd.BuildSiC(1)
+		sys.InitVelocities(300, rand.New(rand.NewSource(1)))
+		cfg := qmd.LDCConfig{
+			GridN:          16,
+			DomainsPerAxis: 2,
+			BufN:           2,
+			Ecut:           3.0,
+			KT:             0.05,
+			MixAlpha:       0.3,
+			Anderson:       true,
+			MaxSCF:         100,
+			EigenIters:     3,
+			Seed:           1,
+		}
+		if _, err := qmd.RunQMD(sys, cfg, 1, 0); err != nil {
+			log.Fatalf("perf workload: %v", err)
+		}
+		if *doPerf {
+			fmt.Printf("per-phase performance report (wall %s):\n", perf.Default.Wall().Round(time.Millisecond))
+			if err := perf.Default.WriteText(os.Stdout); err != nil {
+				log.Fatalf("perf: %v", err)
+			}
+		}
+		if *perfJS != "" {
+			f, err := os.Create(*perfJS)
+			if err != nil {
+				log.Fatalf("perf-json: %v", err)
+			}
+			defer f.Close()
+			if err := perf.Default.WriteJSON(f); err != nil {
+				log.Fatalf("perf-json: %v", err)
+			}
+			fmt.Printf("per-phase JSON report written to %s\n", *perfJS)
+		}
 	}
 }

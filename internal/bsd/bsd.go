@@ -13,6 +13,7 @@ package bsd
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -81,9 +82,40 @@ type Pool struct {
 	Workers int // 0 → GOMAXPROCS
 }
 
-// Run executes task(i) for i in [0, n), returning the first error (all
-// tasks are attempted regardless).
+// TaskPanicError is the error a Pool returns when a task panicked: the
+// panic is recovered in the worker goroutine and converted into an error
+// carrying the task index (the domain that failed) and the stack at the
+// panic site, so one bad domain solve does not kill the whole process
+// without attribution.
+type TaskPanicError struct {
+	Index int    // index of the panicking task
+	Value any    // the recovered panic value
+	Stack []byte // stack captured at the panic site
+}
+
+func (e *TaskPanicError) Error() string {
+	return fmt.Sprintf("bsd: task %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// runTask invokes task(i), converting a panic into a *TaskPanicError.
+func runTask(i int, task func(i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &TaskPanicError{Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return task(i)
+}
+
+// Run executes task(i) for i in [0, n), attempting every task and
+// returning the error of the lowest-index failing task. The serial and
+// concurrent paths agree on this ordering, so a failure is deterministic
+// across runs and worker counts. Panics in tasks are recovered and
+// reported as *TaskPanicError.
 func (p *Pool) Run(n int, task func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
 	workers := p.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -91,34 +123,35 @@ func (p *Pool) Run(n int, task func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
+	// Each task owns errs[i]; wg.Wait orders all writes before the scan,
+	// so the scan below is race-free and picks the lowest-index error.
+	errs := make([]error, n)
 	if workers <= 1 {
-		var firstErr error
 		for i := 0; i < n; i++ {
-			if err := task(i); err != nil && firstErr == nil {
-				firstErr = err
-			}
+			errs[i] = runTask(i, task)
 		}
-		return firstErr
-	}
-	next := make(chan int, n)
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	errs := make(chan error, n)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				if err := task(i); err != nil {
-					errs <- err
+	} else {
+		next := make(chan int, n)
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+		close(next)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					errs[i] = runTask(i, task)
 				}
-			}
-		}()
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
-	close(errs)
-	return <-errs
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -1,0 +1,140 @@
+package bsd
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPoolFirstErrorIsLowestIndex verifies the deterministic error
+// contract: Run returns the error of the lowest-index failing task, not
+// whichever worker reported first. The lowest failing task sleeps so
+// that, under the old channel-based implementation, later failures would
+// almost surely be reported first.
+func TestPoolFirstErrorIsLowestIndex(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			p := Pool{Workers: workers}
+			const n = 64
+			err := p.Run(n, func(i int) error {
+				switch {
+				case i == 32:
+					time.Sleep(2 * time.Millisecond)
+					return fmt.Errorf("task %d failed", i)
+				case i > 32:
+					return fmt.Errorf("task %d failed", i)
+				}
+				return nil
+			})
+			if err == nil {
+				t.Fatal("expected an error")
+			}
+			if got, want := err.Error(), "task 32 failed"; got != want {
+				t.Fatalf("Run returned %q, want lowest-index error %q", got, want)
+			}
+		})
+	}
+}
+
+// TestPoolAllTasksAttempted verifies that a failure does not stop the
+// remaining tasks.
+func TestPoolAllTasksAttempted(t *testing.T) {
+	p := Pool{Workers: 4}
+	const n = 40
+	done := make([]bool, n)
+	err := p.Run(n, func(i int) error {
+		done[i] = true
+		if i%7 == 0 {
+			return fmt.Errorf("task %d failed", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "task 0 failed" {
+		t.Fatalf("err = %v, want task 0 failed", err)
+	}
+	for i, d := range done {
+		if !d {
+			t.Fatalf("task %d was not attempted", i)
+		}
+	}
+}
+
+// TestPoolRecoversPanic verifies that a panicking task is converted into
+// a *TaskPanicError carrying the task index and a stack trace, in both
+// the serial and concurrent paths.
+func TestPoolRecoversPanic(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			p := Pool{Workers: workers}
+			err := p.Run(16, func(i int) error {
+				if i == 7 {
+					panic("domain solve blew up")
+				}
+				return nil
+			})
+			var pe *TaskPanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("err = %v (%T), want *TaskPanicError", err, err)
+			}
+			if pe.Index != 7 {
+				t.Fatalf("panic index = %d, want 7", pe.Index)
+			}
+			if pe.Value != "domain solve blew up" {
+				t.Fatalf("panic value = %v", pe.Value)
+			}
+			if len(pe.Stack) == 0 {
+				t.Fatal("panic error carries no stack")
+			}
+			if !strings.Contains(pe.Error(), "task 7 panicked") {
+				t.Fatalf("Error() = %q lacks task attribution", pe.Error())
+			}
+		})
+	}
+}
+
+// TestPoolPanicVsErrorOrdering: a panic at a lower index outranks a plain
+// error at a higher index, and vice versa.
+func TestPoolPanicVsErrorOrdering(t *testing.T) {
+	p := Pool{Workers: 8}
+	err := p.Run(16, func(i int) error {
+		if i == 3 {
+			panic("early panic")
+		}
+		if i == 10 {
+			return errors.New("late error")
+		}
+		return nil
+	})
+	var pe *TaskPanicError
+	if !errors.As(err, &pe) || pe.Index != 3 {
+		t.Fatalf("err = %v, want panic from task 3", err)
+	}
+
+	err = p.Run(16, func(i int) error {
+		if i == 3 {
+			return errors.New("early error")
+		}
+		if i == 10 {
+			panic("late panic")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "early error" {
+		t.Fatalf("err = %v, want early error from task 3", err)
+	}
+}
+
+// TestPoolZeroTasks: n <= 0 is a no-op.
+func TestPoolZeroTasks(t *testing.T) {
+	p := Pool{Workers: 4}
+	if err := p.Run(0, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatalf("n=0: %v", err)
+	}
+	if err := p.Run(-3, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatalf("n=-3: %v", err)
+	}
+}

@@ -81,6 +81,9 @@ func TestSCFStepConservesElectrons(t *testing.T) {
 }
 
 func TestLDCSolveConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full SCF solve is expensive")
+	}
 	sys := atoms.BuildSiC(1)
 	e, err := NewEngine(sys, sicConfig(ModeLDC, 2, 3))
 	if err != nil {
@@ -113,6 +116,9 @@ func TestLDCSolveConverges(t *testing.T) {
 }
 
 func TestDCModeSolves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full SCF solve is expensive")
+	}
 	sys := atoms.BuildSiC(1)
 	e, err := NewEngine(sys, sicConfig(ModeDC, 2, 3))
 	if err != nil {

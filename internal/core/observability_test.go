@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ldcdft/internal/atoms"
+	"ldcdft/internal/perf"
+)
+
+// TestSCFStepWorkerInvariance: the parallel density assembly (and domain
+// solves) must be bitwise independent of the worker count — every domain
+// computes its own bands and writes a disjoint core region of the global
+// density.
+func TestSCFStepWorkerInvariance(t *testing.T) {
+	run := func(workers int) []float64 {
+		sys := atoms.BuildSiC(1)
+		cfg := sicConfig(ModeLDC, 2, 2)
+		cfg.Workers = workers
+		e, err := NewEngine(sys, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []float64
+		for it := 0; it < 2; it++ {
+			rhoOut, _, err := e.SCFStep()
+			if err != nil {
+				t.Fatal(err)
+			}
+			mixed := e.mixer.Mix(e.Rho.Data, rhoOut.Data)
+			copy(e.Rho.Data, mixed)
+			out = rhoOut.Data
+		}
+		return out
+	}
+	serial := run(1)
+	parallel := run(8)
+	for i := range serial {
+		if d := math.Abs(serial[i] - parallel[i]); d > 1e-14 {
+			t.Fatalf("rho[%d] differs by %g between Workers=1 and Workers=8", i, d)
+		}
+	}
+}
+
+// TestSCFStepReusesLocalDensityBuffers: stage (4) must not allocate a
+// fresh grid.Field per domain per iteration — the ρα buffers persist
+// across SCF steps.
+func TestSCFStepReusesLocalDensityBuffers(t *testing.T) {
+	sys := atoms.BuildSiC(1)
+	e, err := NewEngine(sys, sicConfig(ModeLDC, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.SCFStep(); err != nil {
+		t.Fatal(err)
+	}
+	first := make([]*float64, len(e.solvers))
+	for i, s := range e.solvers {
+		if s.rhoLocal == nil {
+			t.Fatalf("solver %d has no rhoLocal after a step", i)
+		}
+		first[i] = &s.rhoLocal.Data[0]
+	}
+	if _, _, err := e.SCFStep(); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range e.solvers {
+		if &s.rhoLocal.Data[0] != first[i] {
+			t.Fatalf("solver %d reallocated rhoLocal on the second step", i)
+		}
+	}
+}
+
+// TestSCFStepRecordsPhases: one SCF step must record a span (and for the
+// FLOP-bearing stages, a nonzero operation count) on every stage phase of
+// the Fig. 2 loop.
+func TestSCFStepRecordsPhases(t *testing.T) {
+	perf.Global.Reset()
+	perf.Default.Reset()
+	defer perf.Global.Reset()
+	sys := atoms.BuildSiC(1)
+	e, err := NewEngine(sys, sicConfig(ModeLDC, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perf.Default.Reset() // discard construction-time kernel activity
+	if _, _, err := e.SCFStep(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"scf/hartree-multigrid",
+		"scf/domain-solves",
+		"scf/chemical-potential",
+		"scf/density-assembly",
+		"scf/eigensolver",
+		"pw/apply-hamiltonian",
+		"pw/orthonormalize",
+		"fft/3d",
+		"multigrid/poisson",
+	} {
+		p := perf.GetPhase(name)
+		if p.Calls() == 0 {
+			t.Errorf("phase %s recorded no spans", name)
+		}
+		if p.Total() <= 0 {
+			t.Errorf("phase %s recorded no time", name)
+		}
+	}
+	for _, name := range []string{
+		"scf/hartree-multigrid", "scf/domain-solves", "scf/density-assembly",
+		"scf/eigensolver", "pw/apply-hamiltonian", "fft/3d", "multigrid/poisson",
+	} {
+		if p := perf.GetPhase(name); p.Flops() <= 0 {
+			t.Errorf("phase %s attributed no flops", name)
+		}
+	}
+	snap := perf.Default.Snapshot()
+	if len(snap) < 9 {
+		t.Fatalf("snapshot has %d phases, want >= 9", len(snap))
+	}
+}

@@ -6,8 +6,19 @@ import (
 	"math"
 
 	"ldcdft/internal/grid"
+	"ldcdft/internal/perf"
 	"ldcdft/internal/scf"
 	"ldcdft/internal/xc"
+)
+
+// Phase timers for the four stages of the Fig. 2 global–local loop. Each
+// stage has serial boundaries (the loop is a sequence of barriers), so
+// the exclusive spans attribute the Global FLOP-counter delta exactly.
+var (
+	phHartree  = perf.GetPhase("scf/hartree-multigrid")
+	phDomains  = perf.GetPhase("scf/domain-solves")
+	phMu       = perf.GetPhase("scf/chemical-potential")
+	phAssembly = perf.GetPhase("scf/density-assembly")
 )
 
 // StepResult carries the diagnostics of one SCF iteration (one pass of
@@ -52,7 +63,9 @@ func (e *Engine) SCFStep() (*grid.Field, StepResult, error) {
 	var res StepResult
 
 	// (1) Global potentials from the current global density.
+	spH := phHartree.StartExclusive()
 	vh, mgres, err := e.mg.SolvePoisson(e.Rho)
+	spH.Stop()
 	if err != nil {
 		return nil, res, fmt.Errorf("core: global Hartree: %w", err)
 	}
@@ -60,15 +73,18 @@ func (e *Engine) SCFStep() (*grid.Field, StepResult, error) {
 	res.MGCycles = mgres.Cycles
 
 	// (2) Domain solves.
+	spD := phDomains.StartExclusive()
 	err = e.parallelDomains(func(s *domainSolver) error {
 		return e.solveDomain(s, vh)
 	})
+	spD.Stop()
 	if err != nil {
 		return nil, res, err
 	}
 
 	// (3) Global chemical potential from all domain eigenvalues with
 	// core weights.
+	spM := phMu.StartExclusive()
 	var eig, w []float64
 	for _, s := range e.solvers {
 		eig = append(eig, s.eig...)
@@ -76,17 +92,33 @@ func (e *Engine) SCFStep() (*grid.Field, StepResult, error) {
 		res.BandCount += len(s.eig)
 	}
 	mu, err := WeightedChemicalPotential(eig, w, e.Sys.TotalValence(), e.Cfg.KT)
+	spM.Stop()
 	if err != nil {
 		return nil, res, fmt.Errorf("core: chemical potential: %w", err)
 	}
 	res.Mu = mu
 	e.LastMu = mu
 
-	// (4) Occupations, local densities, global assembly.
+	// (4) Occupations, local densities, global assembly — parallel over
+	// domains on the BSD pool. AccumulateCore writes each domain's core
+	// region, and the partition of unity assigns every global point to
+	// exactly one core, so the concurrent merges into rhoOut are disjoint
+	// and race-free. The per-domain ρα buffer is reused across SCF
+	// iterations instead of allocating a fresh field every pass.
+	spA := phAssembly.StartExclusive()
 	rhoOut := grid.NewField(e.Global)
-	for _, s := range e.solvers {
+	alpha := e.Cfg.MixAlpha
+	err = e.parallelDomains(func(s *domainSolver) error {
 		s.occ = scf.Occupations(s.eig, mu, e.Cfg.KT)
-		local := grid.NewField(s.da.Domain.LocalGrid())
+		if s.rhoLocal == nil {
+			s.rhoLocal = grid.NewField(s.da.Domain.LocalGrid())
+		} else {
+			for i := range s.rhoLocal.Data {
+				s.rhoLocal.Data[i] = 0
+			}
+		}
+		local := s.rhoLocal
+		var fl int64
 		for n, f := range s.occ {
 			if f == 0 {
 				continue
@@ -94,18 +126,24 @@ func (e *Engine) SCFStep() (*grid.Field, StepResult, error) {
 			for i, v := range s.bandRho[n] {
 				local.Data[i] += f * v
 			}
+			fl += 2 * int64(len(s.bandRho[n]))
 		}
-		s.rhoLocal = local
 		// Damp the ρα history driving v_bc with the same mixing factor
 		// applied to the global density, so the v_bc = (ρα − ρ)/ξ
 		// difference compares quantities of the same SCF generation; the
 		// raw one-step lag produces a period-2 charge-sloshing
 		// oscillation.
-		alpha := e.Cfg.MixAlpha
 		for i, v := range local.Data {
 			s.rhoPrev.Data[i] = (1-alpha)*s.rhoPrev.Data[i] + alpha*v
 		}
+		fl += 3 * int64(len(local.Data))
+		perf.Global.AddScalar(fl)
 		s.da.Domain.AccumulateCore(local, rhoOut)
+		return nil
+	})
+	spA.Stop()
+	if err != nil {
+		return nil, res, err
 	}
 
 	res.Energy = e.assembleEnergy(rhoOut, vh)
@@ -298,6 +336,7 @@ func WeightedChemicalPotential(eps, w []float64, nelec, kT float64) (float64, er
 				dn += w[i] * f * (2 - f) / (2 * kT)
 			}
 		}
+		perf.Global.AddScalar(int64(8 * len(eps)))
 		return
 	}
 	mu := 0.5 * (lo + hi)

@@ -3,7 +3,14 @@ package fft
 import (
 	"runtime"
 	"sync"
+
+	"ldcdft/internal/perf"
 )
+
+// ph3D aggregates every 3-D transform; applies run concurrently from the
+// band-parallel Hamiltonian workers, so the total is CPU-seconds across
+// workers rather than wall-clock.
+var ph3D = perf.GetPhase("fft/3d")
 
 // Plan3 performs 3-D complex transforms on an Nx×Ny×Nz array stored in
 // row-major order with z fastest: index = (ix*Ny + iy)*Nz + iz. Line
@@ -12,6 +19,7 @@ import (
 type Plan3 struct {
 	Nx, Ny, Nz int
 	px, py, pz *Plan
+	flops      int64 // modelled operation count of one full 3-D transform
 }
 
 // NewPlan3 prepares a 3-D transform of the given shape.
@@ -31,11 +39,16 @@ func NewPlan3(nx, ny, nz int) *Plan3 {
 	default:
 		p.px = NewPlan(nx)
 	}
+	p.flops = int64(nx*ny)*flops(nz) + int64(nx*nz)*flops(ny) + int64(ny*nz)*flops(nx)
 	return p
 }
 
 // Size returns the total number of grid points.
 func (p *Plan3) Size() int { return p.Nx * p.Ny * p.Nz }
+
+// Flops returns the modelled operation count (5 n log2 n per line) of one
+// full 3-D transform.
+func (p *Plan3) Flops() int64 { return p.flops }
 
 // Forward computes the in-place 3-D forward DFT.
 func (p *Plan3) Forward(x []complex128) { p.apply(x, false) }
@@ -48,6 +61,7 @@ func (p *Plan3) apply(x []complex128, inverse bool) {
 	if len(x) != p.Size() {
 		panic("fft: data length does not match 3-D plan")
 	}
+	defer ph3D.Start().StopFlops(p.flops)
 	nx, ny, nz := p.Nx, p.Ny, p.Nz
 	// Transform along z: contiguous lines.
 	parallelFor(nx*ny, func(l int) {

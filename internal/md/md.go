@@ -13,7 +13,17 @@ import (
 
 	"ldcdft/internal/atoms"
 	"ldcdft/internal/geom"
+	"ldcdft/internal/perf"
 	"ldcdft/internal/units"
+)
+
+// Phase timers for the MD loop. Force evaluations have serial boundaries
+// within Step, so the exclusive spans capture the Global FLOP delta of
+// whatever force provider runs underneath (the full LDC-DFT engine in
+// QMD mode).
+var (
+	phForce     = perf.GetPhase("md/force")
+	phIntegrate = perf.GetPhase("md/integrate")
 )
 
 // ForceField computes the potential energy and per-atom forces of a
@@ -120,7 +130,9 @@ func (in *Integrator) Step(sys *atoms.System) error {
 	}
 	dt := in.DtAU
 	if !in.primed {
+		spF := phForce.StartExclusive()
 		e, f, err := in.FF.Compute(sys)
+		spF.Stop()
 		if err != nil {
 			return fmt.Errorf("md: initial force evaluation: %w", err)
 		}
@@ -130,6 +142,7 @@ func (in *Integrator) Step(sys *atoms.System) error {
 	if len(in.forces) != len(sys.Atoms) {
 		return fmt.Errorf("md: force count %d != atom count %d", len(in.forces), len(sys.Atoms))
 	}
+	spI := phIntegrate.Start()
 	for i := range sys.Atoms {
 		a := &sys.Atoms[i]
 		inv := dt / (2 * a.Species.Mass())
@@ -137,11 +150,15 @@ func (in *Integrator) Step(sys *atoms.System) error {
 		a.Position = a.Position.Add(a.Velocity.Scale(dt))
 	}
 	sys.WrapAll()
+	spI.StopFlops(12 * int64(len(sys.Atoms)))
+	spF := phForce.StartExclusive()
 	e, f, err := in.FF.Compute(sys)
+	spF.Stop()
 	if err != nil {
 		return fmt.Errorf("md: force evaluation: %w", err)
 	}
 	in.energy, in.forces = e, f
+	spI = phIntegrate.Start()
 	for i := range sys.Atoms {
 		a := &sys.Atoms[i]
 		inv := dt / (2 * a.Species.Mass())
@@ -150,6 +167,7 @@ func (in *Integrator) Step(sys *atoms.System) error {
 	if in.Thermostat != nil {
 		in.Thermostat.Apply(sys, dt)
 	}
+	spI.StopFlops(6 * int64(len(sys.Atoms)))
 	in.steps++
 	return nil
 }

@@ -12,7 +12,13 @@ import (
 	"math"
 
 	"ldcdft/internal/grid"
+	"ldcdft/internal/perf"
 )
+
+// phPoisson times the global Hartree solves; the stencil kernels are not
+// vectorized, so their modelled operation count goes to the scalar bucket
+// of the Global counter (the 72.5% non-vectorized hot spot of §4.2).
+var phPoisson = perf.GetPhase("multigrid/poisson")
 
 // Options configures the solver.
 type Options struct {
@@ -64,6 +70,10 @@ type Solver struct {
 	g      grid.Grid
 	levels []*level
 	opts   Options
+
+	// flopsPerCycle is the modelled stencil operation count of one V-cycle
+	// plus the top-level convergence check, precomputed from the hierarchy.
+	flopsPerCycle int64
 }
 
 // NewSolver builds the level hierarchy for grid g. The grid size must be
@@ -91,6 +101,22 @@ func NewSolver(g grid.Grid, opts Options) (*Solver, error) {
 	if len(s.levels) == 0 {
 		return nil, fmt.Errorf("multigrid: cannot build hierarchy for N=%d", g.N)
 	}
+	// Operation-count model of one V-cycle: ~8 ops per point per smoothing
+	// sweep, 9 per residual point, 2 per mean subtraction, 54 per coarse
+	// restriction point, ~8 per prolongated fine point; the coarsest level
+	// relaxes 25·n sweeps.
+	pre, post := int64(opts.PreSmooth), int64(opts.PostSmooth)
+	for l, lev := range s.levels {
+		n3 := int64(lev.n) * int64(lev.n) * int64(lev.n)
+		if l == len(s.levels)-1 {
+			s.flopsPerCycle += 25*int64(lev.n)*8*n3 + 2*n3
+			continue
+		}
+		nc := int64(s.levels[l+1].n)
+		s.flopsPerCycle += (pre+post)*8*n3 + 9*n3 + 2*n3 + 54*nc*nc*nc + 8*n3
+	}
+	top := int64(s.levels[0].n)
+	s.flopsPerCycle += 10 * top * top * top // convergence-check residual
 	return s, nil
 }
 
@@ -105,6 +131,7 @@ func (s *Solver) SolvePoisson(rho *grid.Field) (*grid.Field, Result, error) {
 	if rho.Grid != s.g {
 		return nil, Result{}, fmt.Errorf("multigrid: field grid mismatch")
 	}
+	sp := phPoisson.Start()
 	top := s.levels[0]
 	mean := rho.Mean()
 	for i, v := range rho.Data {
@@ -124,6 +151,7 @@ func (s *Solver) SolvePoisson(rho *grid.Field) (*grid.Field, Result, error) {
 		top.v[i] = 0
 	}
 	if fnorm == 0 {
+		sp.Stop()
 		return grid.NewField(s.g), Result{Levels: len(s.levels)}, nil
 	}
 	tol := s.opts.Tol * fnorm
@@ -135,15 +163,18 @@ func (s *Solver) SolvePoisson(rho *grid.Field) (*grid.Field, Result, error) {
 	res := Result{Levels: len(s.levels)}
 	for cycle := 1; cycle <= s.opts.MaxCycles; cycle++ {
 		s.vcycle(0)
+		perf.Global.AddScalar(s.flopsPerCycle)
 		res.Cycles = cycle
 		res.Residual = s.residualNorm(top)
 		if res.Residual < tol {
 			out := grid.NewField(s.g)
 			copy(out.Data, top.v)
 			subtractMean(out.Data)
+			sp.StopFlops(int64(res.Cycles) * s.flopsPerCycle)
 			return out, res, nil
 		}
 	}
+	sp.StopFlops(int64(res.Cycles) * s.flopsPerCycle)
 	return nil, res, ErrNoConvergence
 }
 

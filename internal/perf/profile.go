@@ -1,0 +1,28 @@
+package perf
+
+import (
+	"fmt"
+	"os"
+	"runtime/pprof"
+)
+
+// StartCPUProfile begins a pprof CPU profile written to path and returns
+// the function that stops it and closes the file. An empty path is a
+// no-op. Used by the -cpuprofile flag of the commands.
+func StartCPUProfile(path string) (func(), error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("perf: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("perf: cpu profile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}

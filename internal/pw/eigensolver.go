@@ -13,6 +13,7 @@ import (
 // matrix route of §3.3: S = Ψ†Ψ (reciprocal-space decomposed GEMM),
 // Cholesky S = L L†, then Ψ ← Ψ L^{-†}.
 func Orthonormalize(psi *linalg.CMatrix) error {
+	defer phOrtho.Start().StopFlops(orthoFlops(psi.Rows, psi.Cols))
 	s := linalg.CGemmCT(psi, psi)
 	l, err := linalg.CholeskyHermitian(s)
 	if err != nil {
@@ -56,6 +57,11 @@ type EigenResult struct {
 	Eigenvalues []float64
 	Iterations  int
 	MaxResidual float64
+	// Flops is the modelled operation count of this diagonalization,
+	// accumulated from the kernels it invoked (Hamiltonian applies,
+	// subspace GEMMs, orthonormalizations). Callers attribute it to their
+	// timing phase (scf/eigensolver).
+	Flops int64
 }
 
 // teterPrecondition applies the Teter–Payne–Allan kinetic preconditioner
@@ -84,6 +90,7 @@ func SolveAllBand(h *Hamiltonian, psi *linalg.CMatrix, iters int) (EigenResult, 
 	np := psi.Rows
 	var res EigenResult
 	hpsi := h.ApplyAll(psi)
+	res.Flops += h.applyAllFlops(nb)
 	for it := 0; it < iters; it++ {
 		// Rayleigh–Ritz in the current span.
 		hsub := linalg.CGemmCT(psi, hpsi)
@@ -96,6 +103,7 @@ func SolveAllBand(h *Hamiltonian, psi *linalg.CMatrix, iters int) (EigenResult, 
 		copy(psi.Data, rot.Data)
 		linalg.CGemm(hpsi, u, rot)
 		copy(hpsi.Data, rot.Data)
+		res.Flops += 24*int64(np)*int64(nb)*int64(nb) + 9*int64(nb)*int64(nb)*int64(nb)
 		res.Eigenvalues = w
 
 		// Preconditioned residual block R = K(HΨ − Ψ diag(w)). Columns
@@ -157,6 +165,9 @@ func SolveAllBand(h *Hamiltonian, psi *linalg.CMatrix, iters int) (EigenResult, 
 		}
 		linalg.CGemm(v, usel, psi)
 		linalg.CGemm(hv, usel, hpsi)
+		res.Flops += orthoFlops(np, nv) + h.applyAllFlops(nv) +
+			8*int64(np)*int64(nv)*int64(nv) + 9*int64(nv)*int64(nv)*int64(nv) +
+			16*int64(np)*int64(nv)*int64(nb)
 		res.Eigenvalues = w2[:nb]
 	}
 	return res, nil
@@ -220,6 +231,7 @@ func SolveBandByBand(h *Hamiltonian, psi *linalg.CMatrix, sweeps, cgSteps int) (
 	prevGrad := make([]complex128, np)
 	lower := make([]complex128, np)
 	var res EigenResult
+	nApply := 0
 	for sweep := 0; sweep < sweeps; sweep++ {
 		for n := 0; n < nb; n++ {
 			psi.Col(n, col)
@@ -237,6 +249,7 @@ func SolveBandByBand(h *Hamiltonian, psi *linalg.CMatrix, sweeps, cgSteps int) (
 			var gammaPrev float64
 			for step := 0; step < cgSteps; step++ {
 				h.Apply(col, hcol, scratch)
+				nApply++
 				eps := real(linalg.CDot(col, hcol))
 				// Gradient: (H − ε)ψ, projected against lower bands and ψ.
 				for i := range grad {
@@ -284,6 +297,7 @@ func SolveBandByBand(h *Hamiltonian, psi *linalg.CMatrix, sweeps, cgSteps int) (
 				}
 				// Exact 2×2 line minimization in span{ψ, d̂}.
 				h.Apply(unit, hdir, scratch)
+				nApply++
 				haa := eps
 				hbb := real(linalg.CDot(unit, hdir))
 				hab := linalg.CDot(col, hdir)
@@ -321,6 +335,9 @@ func SolveBandByBand(h *Hamiltonian, psi *linalg.CMatrix, sweeps, cgSteps int) (
 	copy(psi.Data, rot.Data)
 	res.Eigenvalues = w
 	res.Iterations = sweeps * cgSteps
+	res.Flops = int64(nApply)*h.applyAllFlops(1) + orthoFlops(np, nb) +
+		2*h.applyAllFlops(nb) + 16*int64(np)*int64(nb)*int64(nb) +
+		9*int64(nb)*int64(nb)*int64(nb)
 	// Residual report.
 	hpsi = h.ApplyAll(psi)
 	for n := 0; n < nb; n++ {

@@ -42,6 +42,7 @@ func NewHamiltonian(b *Basis, proj *pseudo.Projectors) *Hamiltonian {
 // Apply computes out = H ψ for a single coefficient vector.
 // The scratch buffer must have length N³ (use NewScratch).
 func (h *Hamiltonian) Apply(psi, out, scratch []complex128) {
+	defer phApplyH.Start().StopFlops(h.applyAllFlops(1))
 	b := h.Basis
 	// Kinetic part.
 	for i, g2 := range b.G2 {
@@ -75,6 +76,7 @@ func (h *Hamiltonian) NewScratch() []complex128 {
 func (h *Hamiltonian) ApplyAll(psi *linalg.CMatrix) *linalg.CMatrix {
 	b := h.Basis
 	nb := psi.Cols
+	defer phApplyH.Start().StopFlops(h.applyAllFlops(nb))
 	out := linalg.NewCMatrix(psi.Rows, nb)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > nb {

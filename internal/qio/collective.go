@@ -4,9 +4,12 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sort"
 	"sync"
+
+	"ldcdft/internal/perf"
 )
+
+var phCollectiveWrite = perf.GetPhase("qio/collective-write")
 
 // CollectiveWriter aggregates the per-rank payloads of a process group
 // through group masters before touching storage — the aggregated I/O
@@ -29,14 +32,14 @@ func NewCollectiveWriter(w io.Writer, groupSize int) (*CollectiveWriter, error) 
 
 // WriteAll gathers the payloads of all ranks: each group's master
 // concatenates its members' blocks (concurrently across groups) and the
-// masters then write in rank order. It returns the bytes written.
+// masters then write in rank order. It returns the bytes written. A
+// writer accepting fewer bytes than offered is reported as an
+// io.ErrShortWrite-wrapping error for the offending group.
 func (c *CollectiveWriter) WriteAll(rankPayloads [][]byte) (int64, error) {
 	ngroups := (len(rankPayloads) + c.GroupSize - 1) / c.GroupSize
-	type gathered struct {
-		group int
-		data  []byte
-	}
-	out := make([]gathered, ngroups)
+	// out is index-assigned by group number and therefore already in rank
+	// order after the barrier; no sort is needed.
+	out := make([][]byte, ngroups)
 	var wg sync.WaitGroup
 	for g := 0; g < ngroups; g++ {
 		wg.Add(1)
@@ -55,21 +58,26 @@ func (c *CollectiveWriter) WriteAll(rankPayloads [][]byte) (int64, error) {
 			for _, p := range rankPayloads[lo:hi] {
 				buf = append(buf, p...)
 			}
-			out[g] = gathered{group: g, data: buf}
+			out[g] = buf
 		}(g)
 	}
 	wg.Wait()
-	sort.Slice(out, func(i, j int) bool { return out[i].group < out[j].group })
 	var n int64
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for _, g := range out {
-		k, err := c.W.Write(g.data)
+	sp := phCollectiveWrite.Start()
+	for g, data := range out {
+		k, err := c.W.Write(data)
 		n += int64(k)
+		if err == nil && k < len(data) {
+			err = io.ErrShortWrite
+		}
 		if err != nil {
-			return n, fmt.Errorf("qio: group %d write: %w", g.group, err)
+			sp.StopBytes(n)
+			return n, fmt.Errorf("qio: group %d write: %w", g, err)
 		}
 	}
+	sp.StopBytes(n)
 	return n, nil
 }
 

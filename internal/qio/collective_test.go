@@ -1,0 +1,117 @@
+package qio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// shortWriter accepts at most cap bytes per Write, then truncates without
+// reporting an error — the failure mode WriteAll must detect itself.
+type shortWriter struct {
+	limit int
+	buf   bytes.Buffer
+}
+
+func (s *shortWriter) Write(p []byte) (int, error) {
+	if len(p) > s.limit {
+		p = p[:s.limit]
+	}
+	return s.buf.Write(p)
+}
+
+// failWriter errors after accepting n writes.
+type failWriter struct {
+	okWrites int
+	calls    int
+}
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.calls++
+	if f.calls > f.okWrites {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+func TestWriteAllDetectsShortWrite(t *testing.T) {
+	sw := &shortWriter{limit: 3}
+	cw, err := NewCollectiveWriter(sw, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := cw.WriteAll([][]byte{[]byte("abcd"), []byte("efgh")})
+	if err == nil {
+		t.Fatal("short write went undetected")
+	}
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("err = %v, want io.ErrShortWrite", err)
+	}
+	if !strings.Contains(err.Error(), "group 0") {
+		t.Fatalf("err = %v, want group attribution", err)
+	}
+	if n != 3 {
+		t.Fatalf("n = %d, want the 3 bytes actually written", n)
+	}
+}
+
+func TestWriteAllPropagatesWriterError(t *testing.T) {
+	fw := &failWriter{okWrites: 1}
+	cw, err := NewCollectiveWriter(fw, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := cw.WriteAll([][]byte{[]byte("aa"), []byte("bb"), []byte("cc")})
+	if err == nil {
+		t.Fatal("writer error went undetected")
+	}
+	if !strings.Contains(err.Error(), "group 1") {
+		t.Fatalf("err = %v, want failure attributed to group 1", err)
+	}
+	if n != 2 {
+		t.Fatalf("n = %d, want 2 (only group 0 landed)", n)
+	}
+}
+
+// TestWriteAllOrderPreserved: payload groups must land in rank order even
+// though the gathers run concurrently.
+func TestWriteAllOrderPreserved(t *testing.T) {
+	var buf bytes.Buffer
+	cw, err := NewCollectiveWriter(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := [][]byte{
+		[]byte("r0-"), []byte("r1-"), []byte("r2-"), []byte("r3-"),
+		[]byte("r4-"), []byte("r5-"), []byte("r6-"),
+	}
+	n, err := cw.WriteAll(payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "r0-r1-r2-r3-r4-r5-r6-"
+	if buf.String() != want {
+		t.Fatalf("output %q, want %q", buf.String(), want)
+	}
+	if n != int64(len(want)) {
+		t.Fatalf("n = %d, want %d", n, len(want))
+	}
+}
+
+func TestWriteAllEmptyPayloads(t *testing.T) {
+	var buf bytes.Buffer
+	cw, err := NewCollectiveWriter(&buf, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := cw.WriteAll(nil)
+	if err != nil || n != 0 {
+		t.Fatalf("nil payloads: n=%d err=%v", n, err)
+	}
+	n, err = cw.WriteAll([][]byte{{}, {}})
+	if err != nil || n != 0 {
+		t.Fatalf("empty payloads: n=%d err=%v", n, err)
+	}
+}

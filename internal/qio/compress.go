@@ -8,7 +8,10 @@ import (
 
 	"ldcdft/internal/atoms"
 	"ldcdft/internal/geom"
+	"ldcdft/internal/perf"
 )
+
+var phCompress = perf.GetPhase("qio/compress")
 
 // CompressedSnapshot is an atomic-coordinate snapshot compressed with the
 // space-filling-curve scheme of ref. [65]: positions are quantized onto a
@@ -30,6 +33,8 @@ func Compress(sys *atoms.System, bits uint) (*CompressedSnapshot, error) {
 		return nil, fmt.Errorf("qio: bits %d out of range [1, 20]", bits)
 	}
 	n := sys.NumAtoms()
+	// Throughput is reported against the raw (uncompressed) volume.
+	defer phCompress.Start().StopBytes(int64(n) * 24)
 	scale := float64(uint64(1)<<bits) / sys.Cell.L
 	type rec struct {
 		d       uint64

@@ -9,14 +9,34 @@ import (
 	"ldcdft/internal/atoms"
 	"ldcdft/internal/geom"
 	"ldcdft/internal/units"
+
+	"ldcdft/internal/perf"
 )
+
+var phWriteXYZ = perf.GetPhase("qio/write-xyz")
+
+// countingWriter tracks the bytes that actually reached the underlying
+// writer, for throughput attribution.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	k, err := c.w.Write(p)
+	c.n += int64(k)
+	return k, err
+}
 
 // WriteXYZ appends one frame of the system to w in extended-XYZ format
 // (positions in Å, the conventional unit of the format; comment carries
 // the cell edge). Trajectories are produced by calling it once per
 // sampled MD step.
 func WriteXYZ(w io.Writer, sys *atoms.System, comment string) error {
-	bw := bufio.NewWriter(w)
+	sp := phWriteXYZ.Start()
+	cw := &countingWriter{w: w}
+	defer func() { sp.StopBytes(cw.n) }()
+	bw := bufio.NewWriter(cw)
 	if _, err := fmt.Fprintf(bw, "%d\n", sys.NumAtoms()); err != nil {
 		return err
 	}

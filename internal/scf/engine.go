@@ -8,10 +8,16 @@ import (
 	"ldcdft/internal/geom"
 	"ldcdft/internal/grid"
 	"ldcdft/internal/linalg"
+	"ldcdft/internal/perf"
 	"ldcdft/internal/pseudo"
 	"ldcdft/internal/pw"
 	"ldcdft/internal/xc"
 )
+
+// Eigensolver spans run concurrently across domain solvers, so the phase
+// total is CPU-seconds; FLOPs come from the solver's own modelled count
+// (EigenResult.Flops) rather than a Global-counter delta.
+var phEigensolver = perf.GetPhase("scf/eigensolver")
 
 // Engine bundles the plane-wave machinery of one periodic cell: basis,
 // Hamiltonian, ionic potential, projectors, and the current wave
@@ -91,12 +97,18 @@ func (e *Engine) EffectivePotentialFrom(rho []float64) {
 // Diagonalize refines the wave functions toward the lowest eigenstates
 // of the current Hamiltonian and returns the eigenvalues.
 func (e *Engine) Diagonalize() (pw.EigenResult, error) {
+	sp := phEigensolver.Start()
+	var res pw.EigenResult
+	var err error
 	if e.BandByBand {
 		e.Ham.NlMode = pw.NonlocalBLAS2
-		return pw.SolveBandByBand(e.Ham, e.Psi, 1, e.EigenIters)
+		res, err = pw.SolveBandByBand(e.Ham, e.Psi, 1, e.EigenIters)
+	} else {
+		e.Ham.NlMode = pw.NonlocalBLAS3
+		res, err = pw.SolveAllBand(e.Ham, e.Psi, e.EigenIters)
 	}
-	e.Ham.NlMode = pw.NonlocalBLAS3
-	return pw.SolveAllBand(e.Ham, e.Psi, e.EigenIters)
+	sp.StopFlops(res.Flops)
+	return res, err
 }
 
 // Density returns the electron density for the given occupations.
