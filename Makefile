@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench
+.PHONY: build test vet fmt check race bench
 
 build:
 	$(GO) build ./...
@@ -11,13 +11,28 @@ test: build
 vet:
 	$(GO) vet ./...
 
-# Race-check the concurrency-heavy packages (goroutine pool, collective
-# I/O, parallel SCF assembly, atomic perf counters). -short skips the
+# fmt fails (listing the files) if anything is not gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# check is the pre-commit gate: formatting, static analysis, full tests.
+check: fmt vet test
+
+# Race-check the concurrency-heavy packages (FFT worker pool and pooled
+# scratch arenas, goroutine pool, collective I/O, parallel SCF assembly,
+# atomic perf counters, pooled pw/pseudo scratch). -short skips the
 # full SCF-convergence solves (minutes each under the race detector)
 # while keeping every concurrency path: pool error/panic ordering,
-# parallel SCFStep, collective writes, registry hammering.
+# parallel SCFStep, collective writes, registry hammering, concurrent
+# Cached3 lookups.
 race: vet
-	$(GO) test -race -short ./internal/bsd/... ./internal/qio/... ./internal/core/... ./internal/perf/...
+	$(GO) test -race -short ./internal/fft/... ./internal/pw/... ./internal/pseudo/... ./internal/bsd/... ./internal/qio/... ./internal/core/... ./internal/perf/...
 
-bench:
+bench: bench-fft
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# bench-fft runs the FFT/Hamiltonian hot-path benchmarks with allocation
+# reporting and records the machine-readable results in BENCH_fft.json.
+bench-fft:
+	$(GO) test -run '^$$' -bench 'Benchmark(3DBatch|Plan3|Forward|ApplyAll$$|ApplyAllBLAS)' -benchtime 2s ./internal/fft/ ./internal/pw/ | $(GO) run ./cmd/benchjson > BENCH_fft.json
+	@cat BENCH_fft.json

@@ -1,0 +1,77 @@
+// Command benchjson converts `go test -bench` text output (on stdin)
+// into a JSON array of benchmark records, one per Benchmark line:
+// name, iterations, ns/op, and — when the benchmark reports them —
+// B/op, allocs/op, and GFLOP/s. The Makefile pipes the FFT benchmark
+// suite through it to produce BENCH_fft.json.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark result row.
+type Record struct {
+	Name        string   `json:"name"`
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64   `json:"allocs_per_op,omitempty"`
+	GFlops      *float64 `json:"gflops,omitempty"`
+}
+
+func main() {
+	var recs []Record
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Record{Name: fields[0], Iterations: iters}
+		// Remaining fields come in "<value> <unit>" pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, unit := fields[i], fields[i+1]
+			switch unit {
+			case "ns/op":
+				r.NsPerOp, _ = strconv.ParseFloat(val, 64)
+			case "B/op":
+				if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+					r.BytesPerOp = &v
+				}
+			case "allocs/op":
+				if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+					r.AllocsPerOp = &v
+				}
+			case "GFLOP/s":
+				if v, err := strconv.ParseFloat(val, 64); err == nil {
+					r.GFlops = &v
+				}
+			}
+		}
+		recs = append(recs, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(recs); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

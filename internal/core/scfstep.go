@@ -197,17 +197,20 @@ func (e *Engine) solveDomain(s *domainSolver, vh *grid.Field) error {
 		s.coreW = make([]float64, nb)
 	}
 	invVol := 1 / b.Volume()
-	scratch := make([]complex128, lg.Size())
-	col := make([]complex128, b.Np())
+	gsz := lg.Size()
+	// All bands go to real space in one batched 3-D transform; the batch
+	// buffer is pooled on the basis, so steady-state SCF iterations
+	// allocate nothing here.
+	batch := b.GetBatch(nb * gsz)
+	defer b.PutBatch(batch)
+	b.ToRealSpaceBatch(s.eng.Psi, batch)
 	dv := lg.DV()
 	edge := lg.N
 	buf := d.BufN
 	coreN := d.CoreN
 	for n := 0; n < nb; n++ {
-		s.eng.Psi.Col(n, col)
-		b.ToRealSpace(col, scratch)
 		br := s.bandRho[n]
-		for i, v := range scratch {
+		for i, v := range batch[n*gsz : (n+1)*gsz] {
 			br[i] = (real(v)*real(v) + imag(v)*imag(v)) * invVol
 		}
 		// Core weight w_nα = ∫_core |ψ|² dV.

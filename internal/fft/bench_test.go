@@ -65,6 +65,25 @@ func BenchmarkPlan3Domain18(b *testing.B) {
 	}
 }
 
+// Benchmark3DBatch measures the batched grid pipeline on the reference-
+// run shape (16³, 16 bands per call — one eigensolver ApplyAll's worth
+// of transforms). The steady-state path must not allocate.
+func Benchmark3DBatch(b *testing.B) {
+	const nb = 16
+	p := Cached3(16, 16, 16)
+	x := benchVec(nb * p.Size())
+	p.ForwardBatch(x, nb) // warm the arena pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ForwardBatch(x, nb)
+		p.InverseBatch(x, nb)
+	}
+	b.StopTimer()
+	gflop := float64(2*nb*p.Flops()) * float64(b.N) / 1e9
+	b.ReportMetric(gflop/b.Elapsed().Seconds(), "GFLOP/s")
+}
+
 func BenchmarkPlan3Pow2_32(b *testing.B) {
 	p := NewPlan3(32, 32, 32)
 	x := benchVec(p.Size())

@@ -1,0 +1,35 @@
+package fft
+
+import "sync"
+
+// The process-wide 3-D plan cache. In an LDC run every domain has the
+// same grid shape, and the Hartree, pseudopotential, and wave-function
+// paths of one cell all share one shape too — without a cache each Basis
+// builds its own plan (twiddle tables, bit-reversal permutations, arena
+// pool), and the per-plan arena pools fragment the reusable scratch.
+var (
+	cache3Mu sync.RWMutex
+	cache3   = map[[3]int]*Plan3{}
+)
+
+// Cached3 returns the shared plan for shape (nx, ny, nz), building it on
+// first use. The returned plan is safe for concurrent use by any number
+// of goroutines; repeated calls with the same shape return the same
+// instance, so its twiddle tables and scratch arenas are reused across
+// every domain and band in the process.
+func Cached3(nx, ny, nz int) *Plan3 {
+	key := [3]int{nx, ny, nz}
+	cache3Mu.RLock()
+	p := cache3[key]
+	cache3Mu.RUnlock()
+	if p != nil {
+		return p
+	}
+	cache3Mu.Lock()
+	defer cache3Mu.Unlock()
+	if p = cache3[key]; p == nil {
+		p = NewPlan3(nx, ny, nz)
+		cache3[key] = p
+	}
+	return p
+}

@@ -15,14 +15,16 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
 
 	"ldcdft/internal/perf"
 )
 
-// Plan holds precomputed twiddle factors and scratch for transforms of a
-// fixed length. A Plan is safe for concurrent use by multiple goroutines
-// only through ForwardInto/InverseInto with distinct scratch; the plain
-// Forward/Inverse methods are safe because they allocate no shared state.
+// Plan holds precomputed twiddle factors for transforms of a fixed
+// length. All tables are read-only after NewPlan, so a Plan is safe for
+// concurrent use: Forward/Inverse draw per-call scratch from an internal
+// pool, and the unexported forwardS/inverseS variants take caller-owned
+// scratch (see scratchLen) for allocation-free hot paths.
 type Plan struct {
 	n        int
 	pow2     bool
@@ -32,6 +34,7 @@ type Plan struct {
 	mixed    *mixedFFT    // smooth composite lengths
 	dense    *denseDFT    // small lengths with large prime factors
 	blu      *bluestein   // everything else
+	scratch  sync.Pool    // *[]complex128 of scratchLen for Forward/Inverse
 }
 
 // denseSizeLimit bounds the cached-matrix DFT: below this, an n² matrix
@@ -62,7 +65,62 @@ func NewPlan(n int) *Plan {
 	default:
 		p.blu = newBluestein(n)
 	}
+	p.scratch.New = func() any {
+		s := make([]complex128, p.scratchLen())
+		return &s
+	}
 	return p
+}
+
+// scratchLen returns the scratch length required by forwardS/inverseS:
+// the in-place radix-2 kernel needs none, the mixed-radix recursion needs
+// a destination plus a combine buffer, the dense matrix product one
+// output vector, and Bluestein its padded convolution buffer.
+func (p *Plan) scratchLen() int {
+	switch {
+	case p.pow2:
+		return 0
+	case p.mixed != nil:
+		return 2 * p.n
+	case p.dense != nil:
+		return p.n
+	default:
+		return p.blu.m
+	}
+}
+
+// forwardS computes the in-place forward DFT using caller-owned scratch
+// of at least scratchLen elements. No perf counters are touched; batch
+// drivers attribute modelled FLOPs once per pass instead of per line.
+func (p *Plan) forwardS(x, scratch []complex128) {
+	switch {
+	case p.pow2:
+		p.radix2(x, p.twiddle)
+	case p.mixed != nil:
+		p.mixed.transformS(x, scratch, false)
+	case p.dense != nil:
+		p.dense.transformS(x, scratch, false)
+	default:
+		p.blu.transformS(x, scratch, false)
+	}
+}
+
+// inverseS is forwardS's inverse, including the 1/n normalization.
+func (p *Plan) inverseS(x, scratch []complex128) {
+	switch {
+	case p.pow2:
+		p.radix2(x, p.itwiddle)
+	case p.mixed != nil:
+		p.mixed.transformS(x, scratch, true)
+	case p.dense != nil:
+		p.dense.transformS(x, scratch, true)
+	default:
+		p.blu.transformS(x, scratch, true)
+	}
+	inv := complex(1/float64(p.n), 0)
+	for i := range x {
+		x[i] *= inv
+	}
 }
 
 // denseDFT is a precomputed n×n transform matrix, applied as a dense
@@ -83,9 +141,9 @@ func newDenseDFT(n int) *denseDFT {
 	return d
 }
 
-func (d *denseDFT) transform(x []complex128, inverse bool) {
+func (d *denseDFT) transformS(x, scratch []complex128, inverse bool) {
 	n := d.n
-	out := make([]complex128, n)
+	out := scratch[:n]
 	if inverse {
 		for k := 0; k < n; k++ {
 			row := d.fwd[k*n : (k+1)*n]
@@ -116,15 +174,12 @@ func (p *Plan) Forward(x []complex128) {
 	if len(x) != p.n {
 		panic(fmt.Sprintf("fft: length %d != plan %d", len(x), p.n))
 	}
-	switch {
-	case p.pow2:
+	if p.pow2 {
 		p.radix2(x, p.twiddle)
-	case p.mixed != nil:
-		p.mixed.transform(x, false)
-	case p.dense != nil:
-		p.dense.transform(x, false)
-	default:
-		p.blu.transform(x, false)
+	} else {
+		s := p.scratch.Get().(*[]complex128)
+		p.forwardS(x, *s)
+		p.scratch.Put(s)
 	}
 	perf.Global.AddVector(flops(p.n))
 }
@@ -135,19 +190,16 @@ func (p *Plan) Inverse(x []complex128) {
 	if len(x) != p.n {
 		panic(fmt.Sprintf("fft: length %d != plan %d", len(x), p.n))
 	}
-	switch {
-	case p.pow2:
+	if p.pow2 {
 		p.radix2(x, p.itwiddle)
-	case p.mixed != nil:
-		p.mixed.transform(x, true)
-	case p.dense != nil:
-		p.dense.transform(x, true)
-	default:
-		p.blu.transform(x, true)
-	}
-	inv := complex(1/float64(p.n), 0)
-	for i := range x {
-		x[i] *= inv
+		inv := complex(1/float64(p.n), 0)
+		for i := range x {
+			x[i] *= inv
+		}
+	} else {
+		s := p.scratch.Get().(*[]complex128)
+		p.inverseS(x, *s)
+		p.scratch.Put(s)
 	}
 	perf.Global.AddVector(flops(p.n))
 }
@@ -230,34 +282,38 @@ func newBluestein(n int) *bluestein {
 	return b
 }
 
-// transform computes the forward DFT in place; the inverse is obtained
-// via IDFT(x) = conj(DFT(conj(x))), with the 1/n factor applied by
-// Plan.Inverse.
-func (b *bluestein) transform(x []complex128, inverse bool) {
+// transformS computes the forward DFT in place using caller scratch of
+// at least m elements; the inverse is obtained via IDFT(x) =
+// conj(DFT(conj(x))), with the 1/n factor applied by the caller.
+func (b *bluestein) transformS(x, scratch []complex128, inverse bool) {
 	if inverse {
 		for i := range x {
 			x[i] = conj(x[i])
 		}
-		b.forward(x)
+		b.forward(x, scratch)
 		for i := range x {
 			x[i] = conj(x[i])
 		}
 		return
 	}
-	b.forward(x)
+	b.forward(x, scratch)
 }
 
-func (b *bluestein) forward(x []complex128) {
+func (b *bluestein) forward(x, scratch []complex128) {
 	n, m := b.n, b.m
-	a := make([]complex128, m)
+	a := scratch[:m]
 	for k := 0; k < n; k++ {
 		a[k] = x[k] * b.w[k]
 	}
-	b.sub.Forward(a)
+	for k := n; k < m; k++ {
+		a[k] = 0
+	}
+	// The power-of-two sub-plan transforms in place with no scratch.
+	b.sub.forwardS(a, nil)
 	for i := range a {
 		a[i] *= b.finv[i]
 	}
-	b.sub.Inverse(a)
+	b.sub.inverseS(a, nil)
 	for k := 0; k < n; k++ {
 		x[k] = a[k] * b.w[k]
 	}

@@ -12,17 +12,37 @@ import (
 // workers rather than wall-clock.
 var ph3D = perf.GetPhase("fft/3d")
 
+// tileB is the number of strided lines gathered per tile in the y- and
+// x-axis passes. A tile of tileB lines × the line length stays inside L1
+// (16 lines × 32 points × 16 B = 8 KiB), so the twiddle tables and the
+// gathered pencils are hot for the whole tile instead of being evicted
+// between per-line gathers.
+const tileB = 16
+
 // Plan3 performs 3-D complex transforms on an Nx×Ny×Nz array stored in
-// row-major order with z fastest: index = (ix*Ny + iy)*Nz + iz. Line
-// transforms along each axis are distributed across goroutines, mirroring
+// row-major order with z fastest: index = (ix*Ny + iy)*Nz + iz. All plan
+// state is read-only after NewPlan3 and per-call scratch comes from a
+// pool of reusable arenas, so one Plan3 (e.g. the shared instance from
+// Cached3) serves any number of concurrent transforms. Line transforms
+// are tiled and distributed across a package-wide worker pool, mirroring
 // the threaded Spiral FFT of §4.2.
 type Plan3 struct {
 	Nx, Ny, Nz int
 	px, py, pz *Plan
-	flops      int64 // modelled operation count of one full 3-D transform
+	flops      int64     // modelled operation count of one full 3-D transform
+	arenas     sync.Pool // *arena3
 }
 
-// NewPlan3 prepares a 3-D transform of the given shape.
+// arena3 is one worker's reusable scratch: the tile gather buffer for the
+// strided passes plus the per-line plan scratch (mixed-radix, dense, or
+// Bluestein lengths need it; power-of-two lengths run in place).
+type arena3 struct {
+	tile []complex128 // tileB × max(Nx, Ny) gathered lines
+	line []complex128 // line-plan scratch, max over the three axes
+}
+
+// NewPlan3 prepares a 3-D transform of the given shape. Most callers
+// should prefer Cached3, which shares one plan per shape process-wide.
 func NewPlan3(nx, ny, nz int) *Plan3 {
 	p := &Plan3{Nx: nx, Ny: ny, Nz: nz}
 	p.pz = NewPlan(nz)
@@ -40,6 +60,14 @@ func NewPlan3(nx, ny, nz int) *Plan3 {
 		p.px = NewPlan(nx)
 	}
 	p.flops = int64(nx*ny)*flops(nz) + int64(nx*nz)*flops(ny) + int64(ny*nz)*flops(nx)
+	tileLen := tileB * max(nx, ny)
+	scrLen := max(p.px.scratchLen(), max(p.py.scratchLen(), p.pz.scratchLen()))
+	p.arenas.New = func() any {
+		return &arena3{
+			tile: make([]complex128, tileLen),
+			line: make([]complex128, scrLen),
+		}
+	}
 	return p
 }
 
@@ -57,83 +85,229 @@ func (p *Plan3) Forward(x []complex128) { p.apply(x, false) }
 // normalization.
 func (p *Plan3) Inverse(x []complex128) { p.apply(x, true) }
 
+// ForwardBatch computes the forward DFT of nb independent grids packed
+// contiguously in x (grid g occupies x[g*Size():(g+1)*Size()]). Grids are
+// distributed across the worker pool and each is transformed serially in
+// one worker's arena — for nb ≥ GOMAXPROCS this replaces per-line
+// fan-out with per-grid fan-out and runs allocation-free in the steady
+// state.
+func (p *Plan3) ForwardBatch(x []complex128, nb int) { p.applyBatch(x, nb, false) }
+
+// InverseBatch is ForwardBatch's inverse, including the 1/(NxNyNz)
+// normalization of each grid.
+func (p *Plan3) InverseBatch(x []complex128, nb int) { p.applyBatch(x, nb, true) }
+
 func (p *Plan3) apply(x []complex128, inverse bool) {
 	if len(x) != p.Size() {
 		panic("fft: data length does not match 3-D plan")
 	}
 	defer ph3D.Start().StopFlops(p.flops)
-	nx, ny, nz := p.Nx, p.Ny, p.Nz
-	// Transform along z: contiguous lines.
-	parallelFor(nx*ny, func(l int) {
-		line := x[l*nz : (l+1)*nz]
-		if inverse {
-			p.pz.Inverse(line)
-		} else {
-			p.pz.Forward(line)
-		}
-	})
-	// Transform along y: stride nz, one (ix, iz) pair per line.
-	parallelFor(nx*nz, func(l int) {
-		ix, iz := l/nz, l%nz
-		buf := make([]complex128, ny)
-		base := ix * ny * nz
-		for iy := 0; iy < ny; iy++ {
-			buf[iy] = x[base+iy*nz+iz]
-		}
-		if inverse {
-			p.py.Inverse(buf)
-		} else {
-			p.py.Forward(buf)
-		}
-		for iy := 0; iy < ny; iy++ {
-			x[base+iy*nz+iz] = buf[iy]
-		}
-	})
-	// Transform along x: stride ny*nz.
-	parallelFor(ny*nz, func(l int) {
-		buf := make([]complex128, nx)
-		for ix := 0; ix < nx; ix++ {
-			buf[ix] = x[ix*ny*nz+l]
-		}
-		if inverse {
-			p.px.Inverse(buf)
-		} else {
-			p.px.Forward(buf)
-		}
-		for ix := 0; ix < nx; ix++ {
-			x[ix*ny*nz+l] = buf[ix]
-		}
-	})
+	runUnits(p, x, jobZ, inverse, p.Nx*p.Ny)
+	runUnits(p, x, jobY, inverse, p.Nx*zBlocks(p.Nz))
+	runUnits(p, x, jobX, inverse, (p.Ny*p.Nz+tileB-1)/tileB)
+	perf.Global.AddVector(p.flops)
 }
 
-// parallelFor runs f(i) for i in [0, n) across GOMAXPROCS goroutines.
-// Small trip counts run inline to avoid scheduling overhead.
-func parallelFor(n int, f func(int)) {
+func (p *Plan3) applyBatch(x []complex128, nb int, inverse bool) {
+	if nb < 0 || len(x) != nb*p.Size() {
+		panic("fft: batch length does not match 3-D plan")
+	}
+	if nb == 0 {
+		return
+	}
+	defer ph3D.Start().StopFlops(p.flops * int64(nb))
+	runUnits(p, x, jobGrids, inverse, nb)
+	perf.Global.AddVector(p.flops * int64(nb))
+}
+
+// applySerial runs one full 3-D transform on a single goroutine with the
+// given arena. This is the batch worker body and the GOMAXPROCS=1 path.
+func (p *Plan3) applySerial(x []complex128, inverse bool, a *arena3) {
+	p.zLines(x, inverse, 0, p.Nx*p.Ny, a)
+	p.yTiles(x, inverse, 0, p.Nx*zBlocks(p.Nz), a)
+	p.xTiles(x, inverse, 0, (p.Ny*p.Nz+tileB-1)/tileB, a)
+}
+
+// zBlocks is the number of tileB-wide iz blocks in one y-pass row.
+func zBlocks(nz int) int { return (nz + tileB - 1) / tileB }
+
+// zLines transforms the contiguous z-lines [lo, hi).
+func (p *Plan3) zLines(x []complex128, inverse bool, lo, hi int, a *arena3) {
+	nz := p.Nz
+	for l := lo; l < hi; l++ {
+		line := x[l*nz : (l+1)*nz]
+		if inverse {
+			p.pz.inverseS(line, a.line)
+		} else {
+			p.pz.forwardS(line, a.line)
+		}
+	}
+}
+
+// yTiles transforms y-lines (stride Nz) for tile units [lo, hi). Unit u
+// covers plane ix = u/zBlocks, iz block (u%zBlocks)*tileB: a block of up
+// to tileB adjacent z-columns is gathered into the arena (contiguous
+// tileB-element reads per y), transformed, and scattered back.
+func (p *Plan3) yTiles(x []complex128, inverse bool, lo, hi int, a *arena3) {
+	ny, nz := p.Ny, p.Nz
+	bz := zBlocks(nz)
+	for u := lo; u < hi; u++ {
+		ix := u / bz
+		iz0 := (u % bz) * tileB
+		w := min(tileB, nz-iz0)
+		base := ix*ny*nz + iz0
+		buf := a.tile
+		for iy := 0; iy < ny; iy++ {
+			src := x[base+iy*nz : base+iy*nz+w]
+			for t, v := range src {
+				buf[t*ny+iy] = v
+			}
+		}
+		for t := 0; t < w; t++ {
+			line := buf[t*ny : t*ny+ny]
+			if inverse {
+				p.py.inverseS(line, a.line)
+			} else {
+				p.py.forwardS(line, a.line)
+			}
+		}
+		for iy := 0; iy < ny; iy++ {
+			dst := x[base+iy*nz : base+iy*nz+w]
+			for t := range dst {
+				dst[t] = buf[t*ny+iy]
+			}
+		}
+	}
+}
+
+// xTiles transforms x-lines (stride Ny*Nz) for tile units [lo, hi). Unit
+// u covers the yz-plane offsets [u*tileB, u*tileB+w).
+func (p *Plan3) xTiles(x []complex128, inverse bool, lo, hi int, a *arena3) {
+	nx := p.Nx
+	plane := p.Ny * p.Nz
+	for u := lo; u < hi; u++ {
+		l0 := u * tileB
+		w := min(tileB, plane-l0)
+		buf := a.tile
+		for ix := 0; ix < nx; ix++ {
+			src := x[ix*plane+l0 : ix*plane+l0+w]
+			for t, v := range src {
+				buf[t*nx+ix] = v
+			}
+		}
+		for t := 0; t < w; t++ {
+			line := buf[t*nx : t*nx+nx]
+			if inverse {
+				p.px.inverseS(line, a.line)
+			} else {
+				p.px.forwardS(line, a.line)
+			}
+		}
+		for ix := 0; ix < nx; ix++ {
+			dst := x[ix*plane+l0 : ix*plane+l0+w]
+			for t := range dst {
+				dst[t] = buf[t*nx+ix]
+			}
+		}
+	}
+}
+
+func (p *Plan3) getArena() *arena3  { return p.arenas.Get().(*arena3) }
+func (p *Plan3) putArena(a *arena3) { p.arenas.Put(a) }
+
+// fftJob is one contiguous unit range of a pass, executable by any pool
+// worker (or inline on the caller). It is a plain value — no closures —
+// so submitting a job performs no allocation.
+type fftJob struct {
+	p       *Plan3
+	x       []complex128
+	kind    int8
+	inverse bool
+	lo, hi  int
+	wg      *sync.WaitGroup
+}
+
+const (
+	jobZ int8 = iota
+	jobY
+	jobX
+	jobGrids
+)
+
+func (j fftJob) run() {
+	a := j.p.getArena()
+	switch j.kind {
+	case jobZ:
+		j.p.zLines(j.x, j.inverse, j.lo, j.hi, a)
+	case jobY:
+		j.p.yTiles(j.x, j.inverse, j.lo, j.hi, a)
+	case jobX:
+		j.p.xTiles(j.x, j.inverse, j.lo, j.hi, a)
+	case jobGrids:
+		size := j.p.Size()
+		for g := j.lo; g < j.hi; g++ {
+			j.p.applySerial(j.x[g*size:(g+1)*size], j.inverse, a)
+		}
+	}
+	j.p.putArena(a)
+}
+
+// The package-wide FFT worker pool: GOMAXPROCS long-lived goroutines fed
+// by a bounded channel. Transforms are submitted from many concurrent
+// callers (band and domain workers); a bounded shared pool keeps the
+// total FFT parallelism at the core count instead of oversubscribing
+// GOMAXPROCS goroutines per caller as the old per-apply fan-out did.
+var (
+	poolOnce sync.Once
+	jobCh    chan fftJob
+	wgPool   = sync.Pool{New: func() any { return new(sync.WaitGroup) }}
+)
+
+func startPool() {
+	n := runtime.GOMAXPROCS(0)
+	jobCh = make(chan fftJob, 4*n)
+	for i := 0; i < n; i++ {
+		go func() {
+			for j := range jobCh {
+				j.run()
+				j.wg.Done()
+			}
+		}()
+	}
+}
+
+// runUnits executes units [0, n) of the given pass. The range is split
+// into one chunk per worker; chunks that cannot be handed to the pool
+// immediately run inline on the caller (and the first chunk always
+// does), so progress never depends on pool availability and a saturated
+// pool degrades to serial execution instead of queueing. Workers never
+// submit jobs, so the pool cannot deadlock.
+func runUnits(p *Plan3, x []complex128, kind int8, inverse bool, n int) {
+	if n <= 0 {
+		return
+	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
-	if workers <= 1 || n < 8 {
-		for i := 0; i < n; i++ {
-			f(i)
-		}
+	if workers <= 1 {
+		fftJob{p: p, x: x, kind: kind, inverse: inverse, lo: 0, hi: n}.run()
 		return
 	}
-	var wg sync.WaitGroup
+	poolOnce.Do(startPool)
+	wg := wgPool.Get().(*sync.WaitGroup)
 	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, n)
-		if lo >= hi {
-			break
-		}
+	for lo := chunk; lo < n; lo += chunk {
+		j := fftJob{p: p, x: x, kind: kind, inverse: inverse, lo: lo, hi: min(lo+chunk, n), wg: wg}
 		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				f(i)
-			}
-		}(lo, hi)
+		select {
+		case jobCh <- j:
+		default:
+			j.run()
+			wg.Done()
+		}
 	}
+	fftJob{p: p, x: x, kind: kind, inverse: inverse, lo: 0, hi: chunk}.run()
 	wg.Wait()
+	wgPool.Put(wg)
 }

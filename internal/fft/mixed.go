@@ -1,19 +1,18 @@
 package fft
 
-import (
-	"math"
-	"sync"
-)
+import "math"
 
 // mixedFFT is a recursive mixed-radix Cooley–Tukey transform for lengths
 // whose prime factors are all small (≤ maxMixedFactor). Domain grids in
 // LDC-DFT are rarely powers of two (core + 2·buffer points), so smooth
-// composite lengths like 18, 20, 24 are the common case.
+// composite lengths like 18, 20, 24 are the common case. The twiddle
+// tables are read-only after construction; per-call scratch (2n) is
+// supplied by the caller, so one mixedFFT serves any number of
+// concurrent transforms without allocating.
 type mixedFFT struct {
-	n    int
-	fwd  []complex128 // fwd[k] = e^{-2πik/n}
-	inv  []complex128 // conjugate table
-	pool sync.Pool    // scratch buffers, 2n each
+	n   int
+	fwd []complex128 // fwd[k] = e^{-2πik/n}
+	inv []complex128 // conjugate table
 }
 
 // maxMixedFactor bounds the direct-DFT base case of the recursion.
@@ -38,21 +37,20 @@ func newMixedFFT(n int) *mixedFFT {
 		m.fwd[k] = complex(math.Cos(ang), math.Sin(ang))
 		m.inv[k] = complex(math.Cos(ang), -math.Sin(ang))
 	}
-	m.pool.New = func() any { return make([]complex128, 2*n) }
 	return m
 }
 
-func (m *mixedFFT) transform(x []complex128, inverse bool) {
-	buf := m.pool.Get().([]complex128)
-	dst := buf[:m.n]
-	scratch := buf[m.n:]
+// transformS computes the DFT of x in place using caller scratch of at
+// least 2n elements.
+func (m *mixedFFT) transformS(x, scratch []complex128, inverse bool) {
+	dst := scratch[:m.n]
+	scr := scratch[m.n : 2*m.n]
 	roots := m.fwd
 	if inverse {
 		roots = m.inv
 	}
-	m.rec(x, 1, dst, scratch, m.n, roots)
+	m.rec(x, 1, dst, scr, m.n, roots)
 	copy(x, dst)
-	m.pool.Put(buf)
 }
 
 // rec computes the n-point DFT of src[0], src[s], …, src[(n-1)s] into

@@ -156,19 +156,32 @@ func cgemmRange(a, b, c *CMatrix, r0, r1 int) {
 // §3.3 ("constructing an overlap matrix ... using reciprocal-space
 // decomposition").
 func CGemmCT(a, b *CMatrix) *CMatrix {
-	if a.Rows != b.Rows {
+	c := NewCMatrix(a.Cols, b.Cols)
+	CGemmCTInto(a, b, c)
+	return c
+}
+
+// CGemmCTInto computes C = A† * B into the caller's c (zeroed here),
+// avoiding the result allocation of CGemmCT — the form used by pooled
+// hot paths. With a single worker no partial matrices are allocated.
+func CGemmCTInto(a, b, c *CMatrix) {
+	if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
 		panic(ErrDimension)
 	}
-	c := NewCMatrix(a.Cols, b.Cols)
-	var mu sync.Mutex
-	workers := runtime.GOMAXPROCS(0)
+	for i := range c.Data {
+		c.Data[i] = 0
+	}
 	rows := a.Rows
+	workers := runtime.GOMAXPROCS(0)
 	if workers > rows {
 		workers = rows
 	}
-	if workers < 1 {
-		workers = 1
+	if workers <= 1 {
+		cgemmCTRange(a, b, c, 0, rows)
+		perf.Global.AddVector(8 * int64(a.Cols) * int64(b.Cols) * int64(rows))
+		return
 	}
+	var mu sync.Mutex
 	var wg sync.WaitGroup
 	chunk := (rows + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -181,17 +194,7 @@ func CGemmCT(a, b *CMatrix) *CMatrix {
 		go func(k0, k1 int) {
 			defer wg.Done()
 			local := NewCMatrix(a.Cols, b.Cols)
-			for k := k0; k < k1; k++ {
-				arow := a.Row(k)
-				brow := b.Row(k)
-				for i, av := range arow {
-					ca := cmplx.Conj(av)
-					lrow := local.Row(i)
-					for j, bv := range brow {
-						lrow[j] += ca * bv
-					}
-				}
-			}
+			cgemmCTRange(a, b, local, k0, k1)
 			mu.Lock()
 			for i, v := range local.Data {
 				c.Data[i] += v
@@ -201,7 +204,22 @@ func CGemmCT(a, b *CMatrix) *CMatrix {
 	}
 	wg.Wait()
 	perf.Global.AddVector(8 * int64(a.Cols) * int64(b.Cols) * int64(rows))
-	return c
+}
+
+// cgemmCTRange accumulates rows [k0, k1) of the A†B sum into dst, which
+// must start zeroed (or hold a running partial).
+func cgemmCTRange(a, b, dst *CMatrix, k0, k1 int) {
+	for k := k0; k < k1; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			ca := cmplx.Conj(av)
+			drow := dst.Row(i)
+			for j, bv := range brow {
+				drow[j] += ca * bv
+			}
+		}
+	}
 }
 
 // ErrNotHermitianPD is returned by CholeskyHermitian for non-positive-

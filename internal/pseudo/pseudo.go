@@ -7,6 +7,7 @@ package pseudo
 
 import (
 	"math"
+	"sync"
 
 	"ldcdft/internal/atoms"
 	"ldcdft/internal/geom"
@@ -45,6 +46,26 @@ type Projectors struct {
 	D       []float64       // Nproj strengths (Hartree)
 	Atom    []int           // owning atom index per projector
 	Channel []int
+
+	scratch sync.Pool // *applyScratch, reused across ApplyAllBand calls
+}
+
+// applyScratch holds the two intermediates of the BLAS3 projector
+// application: proj = D·(B†Ψ) (Nproj×Nband) and add = B·proj (Np×Nband).
+// Backing slices grow to the largest band count seen and are reused.
+type applyScratch struct {
+	proj, add linalg.CMatrix
+}
+
+// reshape resizes m to rows×cols, reusing its backing slice when large
+// enough.
+func reshape(m *linalg.CMatrix, rows, cols int) {
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]complex128, n)
+	}
+	m.Data = m.Data[:n]
+	m.Rows, m.Cols = rows, cols
 }
 
 // NumProjectors returns the number of projector columns.
@@ -120,19 +141,25 @@ func (p *Projectors) ApplyAllBand(psi, out *linalg.CMatrix) {
 	if p.NumProjectors() == 0 {
 		return
 	}
-	proj := linalg.CGemmCT(p.B, psi) // Nproj × Nband
-	for j := 0; j < proj.Rows; j++ {
+	s, _ := p.scratch.Get().(*applyScratch)
+	if s == nil {
+		s = &applyScratch{}
+	}
+	reshape(&s.proj, p.NumProjectors(), psi.Cols)
+	linalg.CGemmCTInto(p.B, psi, &s.proj) // proj = B†Ψ, Nproj × Nband
+	for j := 0; j < s.proj.Rows; j++ {
 		d := complex(p.D[j], 0)
-		row := proj.Row(j)
+		row := s.proj.Row(j)
 		for k := range row {
 			row[k] *= d
 		}
 	}
-	add := linalg.NewCMatrix(out.Rows, out.Cols)
-	linalg.CGemm(p.B, proj, add)
-	for i, v := range add.Data {
+	reshape(&s.add, out.Rows, out.Cols)
+	linalg.CGemm(p.B, &s.proj, &s.add)
+	for i, v := range s.add.Data {
 		out.Data[i] += v
 	}
+	p.scratch.Put(s)
 }
 
 // Expectation returns ⟨ψ|V_nl|ψ⟩ for one band (real by Hermiticity).

@@ -13,10 +13,12 @@ package pw
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"ldcdft/internal/fft"
 	"ldcdft/internal/geom"
 	"ldcdft/internal/grid"
+	"ldcdft/internal/linalg"
 )
 
 // Basis is the plane-wave basis of one periodic cell.
@@ -29,6 +31,16 @@ type Basis struct {
 	FFTi []int       // FFT-grid linear index of each G
 
 	plan *fft.Plan3
+
+	// Folded reciprocal-space lookups shared by every grid-space kernel
+	// (kinetic via G2, Hartree 4π/G², pseudopotential form factors,
+	// forces): axisG[i] = fold(i)·2π/L per FFT index, g2Grid = |G|² per
+	// FFT grid point.
+	axisG  []float64
+	g2Grid []float64
+
+	gridPool  sync.Pool // *[]complex128, one N³ grid each
+	batchPool sync.Pool // *[]complex128, grown to the largest batch seen
 }
 
 // NewBasis enumerates the plane waves with ½|G|² ≤ ecut on the FFT grid
@@ -38,7 +50,7 @@ func NewBasis(g grid.Grid, ecut float64) (*Basis, error) {
 	if ecut <= 0 {
 		return nil, fmt.Errorf("pw: non-positive cutoff %g", ecut)
 	}
-	b := &Basis{Grid: g, Ecut: ecut, plan: fft.NewPlan3(g.N, g.N, g.N)}
+	b := &Basis{Grid: g, Ecut: ecut, plan: fft.Cached3(g.N, g.N, g.N)}
 	unit := 2 * math.Pi / g.L
 	gmax := math.Sqrt(2 * ecut)
 	mmax := int(gmax/unit) + 1
@@ -47,24 +59,43 @@ func NewBasis(g grid.Grid, ecut float64) (*Basis, error) {
 			ecut, mmax, g.N/2)
 	}
 	n := g.N
+	b.axisG = make([]float64, n)
+	for i := 0; i < n; i++ {
+		b.axisG[i] = float64(fold(i, n)) * unit
+	}
+	b.g2Grid = make([]float64, g.Size())
+	idx := 0
 	for ix := 0; ix < n; ix++ {
-		mx := fold(ix, n)
+		gx := b.axisG[ix]
 		for iy := 0; iy < n; iy++ {
-			my := fold(iy, n)
+			gy := b.axisG[iy]
+			gxy := gx*gx + gy*gy
 			for iz := 0; iz < n; iz++ {
-				mz := fold(iz, n)
-				gv := geom.Vec3{X: float64(mx) * unit, Y: float64(my) * unit, Z: float64(mz) * unit}
-				g2 := gv.Norm2()
-				if g2/2 <= ecut {
-					b.G = append(b.G, gv)
+				gz := b.axisG[iz]
+				b.g2Grid[idx] = gxy + gz*gz
+				idx++
+			}
+		}
+	}
+	idx = 0
+	for ix := 0; ix < n; ix++ {
+		for iy := 0; iy < n; iy++ {
+			for iz := 0; iz < n; iz++ {
+				if g2 := b.g2Grid[idx]; g2/2 <= ecut {
+					b.G = append(b.G, geom.Vec3{X: b.axisG[ix], Y: b.axisG[iy], Z: b.axisG[iz]})
 					b.G2 = append(b.G2, g2)
-					b.FFTi = append(b.FFTi, (ix*n+iy)*n+iz)
+					b.FFTi = append(b.FFTi, idx)
 				}
+				idx++
 			}
 		}
 	}
 	if len(b.G) == 0 {
 		return nil, fmt.Errorf("pw: empty basis for cutoff %g", ecut)
+	}
+	b.gridPool.New = func() any {
+		s := make([]complex128, g.Size())
+		return &s
 	}
 	return b, nil
 }
@@ -84,6 +115,45 @@ func (b *Basis) Np() int { return len(b.G) }
 // Volume returns the cell volume Ω.
 func (b *Basis) Volume() float64 { return b.Grid.L * b.Grid.L * b.Grid.L }
 
+// AxisG returns the folded reciprocal frequency fold(i)·2π/L for each
+// FFT index along one axis (all axes are equal on the cubic grid).
+func (b *Basis) AxisG() []float64 { return b.axisG }
+
+// G2Grid returns |G|² at every FFT grid point in grid order — the folded
+// lookup shared by the kinetic term (gathered through FFTi into G2), the
+// Hartree kernel, and the pseudopotential builders. Callers must not
+// modify it.
+func (b *Basis) G2Grid() []float64 { return b.g2Grid }
+
+// GetGrid returns a pooled N³ complex work buffer. Contents are
+// unspecified; release with PutGrid when done.
+func (b *Basis) GetGrid() []complex128 {
+	return *b.gridPool.Get().(*[]complex128)
+}
+
+// PutGrid returns a buffer obtained from GetGrid to the pool.
+func (b *Basis) PutGrid(buf []complex128) {
+	b.gridPool.Put(&buf)
+}
+
+// GetBatch returns a pooled complex buffer of at least n elements
+// (sliced to n), growing the pooled backing store as needed. Contents
+// are unspecified; release with PutBatch.
+func (b *Basis) GetBatch(n int) []complex128 {
+	bp, _ := b.batchPool.Get().(*[]complex128)
+	if bp == nil || cap(*bp) < n {
+		s := make([]complex128, n)
+		return s
+	}
+	return (*bp)[:n]
+}
+
+// PutBatch returns a buffer obtained from GetBatch to the pool.
+func (b *Basis) PutBatch(buf []complex128) {
+	buf = buf[:cap(buf)]
+	b.batchPool.Put(&buf)
+}
+
 // Scatter places coefficient vector c (len Np) onto a zeroed FFT grid
 // array (len N³).
 func (b *Basis) Scatter(c []complex128, gridArr []complex128) {
@@ -92,6 +162,18 @@ func (b *Basis) Scatter(c []complex128, gridArr []complex128) {
 	}
 	for i, fi := range b.FFTi {
 		gridArr[fi] = c[i]
+	}
+}
+
+// scatterColumn places column n of psi onto the (zeroed here) grid
+// buffer dst without materializing the column.
+func (b *Basis) scatterColumn(psi *linalg.CMatrix, n int, dst []complex128) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	nc := psi.Cols
+	for gi, fi := range b.FFTi {
+		dst[fi] = psi.Data[gi*nc+n]
 	}
 }
 
@@ -116,6 +198,26 @@ func (b *Basis) ToRealSpace(c []complex128, work []complex128) {
 	}
 }
 
+// ToRealSpaceBatch converts every column of psi to real-space values in
+// one batched 3-D transform: band n's ψ̃(r) fills
+// batch[n*N³:(n+1)*N³]. batch must have length ≥ Cols·N³.
+func (b *Basis) ToRealSpaceBatch(psi *linalg.CMatrix, batch []complex128) {
+	size := b.Grid.Size()
+	nb := psi.Cols
+	if len(batch) < nb*size {
+		panic("pw: batch buffer too small")
+	}
+	batch = batch[:nb*size]
+	for n := 0; n < nb; n++ {
+		b.scatterColumn(psi, n, batch[n*size:(n+1)*size])
+	}
+	b.plan.InverseBatch(batch, nb)
+	n3 := complex(float64(size), 0)
+	for i := range batch {
+		batch[i] *= n3
+	}
+}
+
 // FromRealSpace projects grid values f(r_j) onto sphere coefficients:
 // c_G = (1/N³) Σ_j f(r_j) e^{−iG·r_j}. The input buffer is destroyed.
 func (b *Basis) FromRealSpace(work []complex128, c []complex128) {
@@ -125,6 +227,27 @@ func (b *Basis) FromRealSpace(work []complex128, c []complex128) {
 		work[i] *= inv
 	}
 	b.Gather(work, c)
+}
+
+// FromRealSpaceBatch projects nb packed grids back onto sphere
+// coefficients, storing band n into column n of psi. The batch buffer is
+// destroyed. The 1/N³ normalization is applied only to the gathered
+// coefficients, saving a full pass over the batch.
+func (b *Basis) FromRealSpaceBatch(batch []complex128, psi *linalg.CMatrix) {
+	size := b.Grid.Size()
+	nb := psi.Cols
+	if len(batch) < nb*size {
+		panic("pw: batch buffer too small")
+	}
+	b.plan.ForwardBatch(batch[:nb*size], nb)
+	inv := complex(1/float64(size), 0)
+	nc := psi.Cols
+	for n := 0; n < nb; n++ {
+		g := batch[n*size : (n+1)*size]
+		for gi, fi := range b.FFTi {
+			psi.Data[gi*nc+n] = g[fi] * inv
+		}
+	}
 }
 
 // Plan exposes the 3-D FFT plan (used by the Hartree solver).

@@ -43,6 +43,20 @@ func BenchmarkApplyAllBLAS3(b *testing.B) {
 	}
 }
 
+// BenchmarkApplyAll measures the steady-state all-band HΨ with the
+// output matrix preallocated — the eigensolver's inner loop. Allocation
+// counts are reported; the batched FFT path should keep them near zero.
+func BenchmarkApplyAll(b *testing.B) {
+	h, psi := benchSetup(b, 16)
+	out := linalg.NewCMatrix(psi.Rows, psi.Cols)
+	h.ApplyAllInto(psi, out) // warm the basis pools
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ApplyAllInto(psi, out)
+	}
+}
+
 func BenchmarkApplyAllBLAS2(b *testing.B) {
 	h, psi := benchSetup(b, 16)
 	h.NlMode = NonlocalBLAS2

@@ -1,65 +1,45 @@
 package pw
 
-import (
-	"runtime"
-	"sync"
-
-	"ldcdft/internal/linalg"
-)
+import "ldcdft/internal/linalg"
 
 // Density computes the valence electron density ρ(r_j) = (1/Ω) Σ_n f_n
 // |ψ̃_n(r_j)|² on the FFT grid (Eq. (c) in Fig. 2, with occupations f_n
 // supplied by the Fermi distribution at the global chemical potential).
-// Band contributions are accumulated across parallel workers (band
-// decomposition, §3.3).
+// The occupied bands go to real space in one batched 3-D transform (the
+// fft worker pool fans out per band) and the accumulation is
+// partitioned over disjoint grid ranges, so no per-worker partial grids
+// are allocated or merged.
 func Density(b *Basis, psi *linalg.CMatrix, occ []float64) []float64 {
 	size := b.Grid.Size()
-	nb := psi.Cols
-	invVol := 1 / b.Volume()
-	workers := runtime.GOMAXPROCS(0)
-	if workers > nb {
-		workers = nb
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	partials := make([][]float64, workers)
-	var wg sync.WaitGroup
-	next := make(chan int, nb)
-	for n := 0; n < nb; n++ {
-		next <- n
-	}
-	close(next)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			local := make([]float64, size)
-			scratch := make([]complex128, size)
-			col := make([]complex128, psi.Rows)
-			for n := range next {
-				f := occ[n]
-				if f == 0 {
-					continue
-				}
-				psi.Col(n, col)
-				b.ToRealSpace(col, scratch)
-				for i, v := range scratch {
-					local[i] += f * (real(v)*real(v) + imag(v)*imag(v)) * invVol
-				}
-			}
-			partials[w] = local
-		}(w)
-	}
-	wg.Wait()
 	rho := make([]float64, size)
-	for _, local := range partials {
-		if local == nil {
-			continue
-		}
-		for i, v := range local {
-			rho[i] += v
+	var bands []int
+	for n := 0; n < psi.Cols; n++ {
+		if occ[n] != 0 {
+			bands = append(bands, n)
 		}
 	}
+	if len(bands) == 0 {
+		return rho
+	}
+	batch := b.GetBatch(len(bands) * size)
+	defer b.PutBatch(batch)
+	for k, n := range bands {
+		b.scatterColumn(psi, n, batch[k*size:(k+1)*size])
+	}
+	b.plan.InverseBatch(batch[:len(bands)*size], len(bands))
+	// The raw inverse omits ToRealSpace's ×N³; fold (N³)² into the
+	// |ψ̃|²/Ω prefactor instead of rescaling the whole batch.
+	n3 := float64(size)
+	scale := n3 * n3 / b.Volume()
+	parallelRange(size, func(lo, hi int) {
+		for k, n := range bands {
+			f := occ[n] * scale
+			g := batch[k*size : (k+1)*size]
+			for i := lo; i < hi; i++ {
+				v := g[i]
+				rho[i] += f * (real(v)*real(v) + imag(v)*imag(v))
+			}
+		}
+	})
 	return rho
 }

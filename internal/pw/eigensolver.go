@@ -78,6 +78,12 @@ func teterPrecondition(b *Basis, r []complex128, ke float64) {
 	}
 }
 
+// expandFullApply forces the pre-optimization expansion path that
+// re-applies H to the full expanded block [Ψ, R] instead of reusing HΨ
+// for the retained columns. Kept (unexported) so tests can verify the
+// reuse path reproduces the seed path's eigenvalues.
+var expandFullApply = false
+
 // SolveAllBand diagonalizes H for the nb lowest states using the blocked
 // (all-band) algorithm of §3.4: every iteration applies H to the whole
 // packed Ψ matrix, performs a Rayleigh–Ritz rotation, and expands the
@@ -149,10 +155,40 @@ func SolveAllBand(h *Hamiltonian, psi *linalg.CMatrix, iters int) (EigenResult, 
 				v.Row(i)[nb+k] = rcol[i]
 			}
 		}
-		if err := orthonormalizeSafe(v); err != nil {
-			return res, err
+		// HΨ reuse: Ψ's columns are already orthonormal, so the Cholesky
+		// factor of the expanded overlap has an identity leading block
+		// and Ψ L^{-†} leaves the first nb columns unchanged — HV for
+		// those columns IS the hpsi block already in hand. H is applied
+		// only to the orthonormalized residual columns, roughly halving
+		// the Hamiltonian work of every expansion step. If the Cholesky
+		// route fails (residuals nearly dependent on Ψ), the Gram–
+		// Schmidt fallback rebuilds all columns and the reuse no longer
+		// holds, so the full block is re-applied.
+		reuse := !expandFullApply
+		if err := Orthonormalize(v); err != nil {
+			if err := gramSchmidt(v); err != nil {
+				return res, err
+			}
+			reuse = false
 		}
-		hv := h.ApplyAll(v)
+		var hv *linalg.CMatrix
+		var applyFl int64
+		if reuse {
+			r := linalg.NewCMatrix(np, len(keep))
+			for i := 0; i < np; i++ {
+				copy(r.Row(i), v.Row(i)[nb:])
+			}
+			hr := h.ApplyAll(r)
+			hv = linalg.NewCMatrix(np, nv)
+			for i := 0; i < np; i++ {
+				copy(hv.Row(i)[:nb], hpsi.Row(i))
+				copy(hv.Row(i)[nb:], hr.Row(i))
+			}
+			applyFl = h.applyAllFlops(len(keep))
+		} else {
+			hv = h.ApplyAll(v)
+			applyFl = h.applyAllFlops(nv)
+		}
 		hsub2 := linalg.CGemmCT(v, hv)
 		w2, u2, err := linalg.HermitianEigen(hsub2)
 		if err != nil {
@@ -165,7 +201,7 @@ func SolveAllBand(h *Hamiltonian, psi *linalg.CMatrix, iters int) (EigenResult, 
 		}
 		linalg.CGemm(v, usel, psi)
 		linalg.CGemm(hv, usel, hpsi)
-		res.Flops += orthoFlops(np, nv) + h.applyAllFlops(nv) +
+		res.Flops += orthoFlops(np, nv) + applyFl +
 			8*int64(np)*int64(nv)*int64(nv) + 9*int64(nv)*int64(nv)*int64(nv) +
 			16*int64(np)*int64(nv)*int64(nb)
 		res.Eigenvalues = w2[:nb]
@@ -179,8 +215,13 @@ func orthonormalizeSafe(v *linalg.CMatrix) error {
 	if err := Orthonormalize(v); err == nil {
 		return nil
 	}
-	// Modified Gram–Schmidt with re-orthogonalization; replaces
-	// numerically dependent columns with fresh noise.
+	return gramSchmidt(v)
+}
+
+// gramSchmidt is the fallback orthonormalization: modified Gram–Schmidt
+// with re-orthogonalization; replaces numerically dependent columns with
+// fresh noise.
+func gramSchmidt(v *linalg.CMatrix) error {
 	np, nc := v.Rows, v.Cols
 	rng := rand.New(rand.NewSource(12345))
 	col := make([]complex128, np)
@@ -222,7 +263,7 @@ func orthonormalizeSafe(v *linalg.CMatrix) error {
 // A final Rayleigh–Ritz rotation resolves the computed subspace.
 func SolveBandByBand(h *Hamiltonian, psi *linalg.CMatrix, sweeps, cgSteps int) (EigenResult, error) {
 	np, nb := psi.Rows, psi.Cols
-	scratch := h.NewScratch()
+	ws := h.NewWorkspace()
 	col := make([]complex128, np)
 	hcol := make([]complex128, np)
 	grad := make([]complex128, np)
@@ -248,7 +289,7 @@ func SolveBandByBand(h *Hamiltonian, psi *linalg.CMatrix, sweeps, cgSteps int) (
 			linalg.CScale(complex(1/nrm, 0), col)
 			var gammaPrev float64
 			for step := 0; step < cgSteps; step++ {
-				h.Apply(col, hcol, scratch)
+				h.Apply(col, hcol, ws)
 				nApply++
 				eps := real(linalg.CDot(col, hcol))
 				// Gradient: (H − ε)ψ, projected against lower bands and ψ.
@@ -296,7 +337,7 @@ func SolveBandByBand(h *Hamiltonian, psi *linalg.CMatrix, sweeps, cgSteps int) (
 					unit[i] = dir[i] / complex(dn, 0)
 				}
 				// Exact 2×2 line minimization in span{ψ, d̂}.
-				h.Apply(unit, hdir, scratch)
+				h.Apply(unit, hdir, ws)
 				nApply++
 				haa := eps
 				hbb := real(linalg.CDot(unit, hdir))

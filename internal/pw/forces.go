@@ -54,7 +54,8 @@ func IonIon(cell geom.Cell, species []*atoms.Species, positions []geom.Vec3) (fl
 func LocalForces(b *Basis, rho []float64, species []*atoms.Species, positions []geom.Vec3) []geom.Vec3 {
 	n := b.Grid.N
 	size := b.Grid.Size()
-	work := make([]complex128, size)
+	work := b.GetGrid()
+	defer b.PutGrid(work)
 	for i, v := range rho {
 		work[i] = complex(v, 0)
 	}
@@ -62,15 +63,16 @@ func LocalForces(b *Basis, rho []float64, species []*atoms.Species, positions []
 	// work[m] = Σ_j ρ_j e^{−iG·r_j} = N³ ρ_G Ω/(h³N³)… combine: ρ_G =
 	// (h³/Ω)·work[m] = work[m]/N³.
 	invN3 := 1 / float64(size)
-	unit := 2 * math.Pi / b.Grid.L
+	ax := b.axisG
+	g2g := b.g2Grid
 	forces := make([]geom.Vec3, len(positions))
 	for ix := 0; ix < n; ix++ {
-		gx := float64(fold(ix, n)) * unit
+		gx := ax[ix]
 		for iy := 0; iy < n; iy++ {
-			gy := float64(fold(iy, n)) * unit
+			gy := ax[iy]
 			for iz := 0; iz < n; iz++ {
-				gz := float64(fold(iz, n)) * unit
-				g2 := gx*gx + gy*gy + gz*gz
+				gz := ax[iz]
+				g2 := g2g[(ix*n+iy)*n+iz]
 				if g2 == 0 {
 					continue
 				}

@@ -39,9 +39,27 @@ func NewHamiltonian(b *Basis, proj *pseudo.Projectors) *Hamiltonian {
 	return &Hamiltonian{Basis: b, Vloc: make([]float64, b.Grid.Size()), Proj: proj}
 }
 
-// Apply computes out = H ψ for a single coefficient vector.
-// The scratch buffer must have length N³ (use NewScratch).
-func (h *Hamiltonian) Apply(psi, out, scratch []complex128) {
+// ApplyWorkspace holds the reusable scratch of single-band Hamiltonian
+// applications: the N³ FFT grid buffer and the Np coefficient buffer
+// that Apply previously allocated on every call. One workspace serves
+// one goroutine; create it once per solver loop (CG sweeps, residual
+// evaluations, dense-H construction) and thread it through.
+type ApplyWorkspace struct {
+	grid []complex128 // N³ FFT work buffer
+	tmp  []complex128 // Np coefficient buffer
+}
+
+// NewWorkspace allocates an ApplyWorkspace sized for this Hamiltonian.
+func (h *Hamiltonian) NewWorkspace() *ApplyWorkspace {
+	return &ApplyWorkspace{
+		grid: make([]complex128, h.Basis.Grid.Size()),
+		tmp:  make([]complex128, h.Basis.Np()),
+	}
+}
+
+// Apply computes out = H ψ for a single coefficient vector, using the
+// caller's reusable workspace.
+func (h *Hamiltonian) Apply(psi, out []complex128, ws *ApplyWorkspace) {
 	defer phApplyH.Start().StopFlops(h.applyAllFlops(1))
 	b := h.Basis
 	// Kinetic part.
@@ -49,14 +67,13 @@ func (h *Hamiltonian) Apply(psi, out, scratch []complex128) {
 		out[i] = complex(g2/2, 0) * psi[i]
 	}
 	// Local potential part via FFT.
-	b.ToRealSpace(psi, scratch)
+	b.ToRealSpace(psi, ws.grid)
 	for i, v := range h.Vloc {
-		scratch[i] *= complex(v, 0)
+		ws.grid[i] *= complex(v, 0)
 	}
-	tmp := make([]complex128, b.Np())
-	b.FromRealSpace(scratch, tmp)
+	b.FromRealSpace(ws.grid, ws.tmp)
 	for i := range out {
-		out[i] += tmp[i]
+		out[i] += ws.tmp[i]
 	}
 	// Nonlocal part.
 	if h.Proj != nil && h.Proj.NumProjectors() > 0 {
@@ -64,66 +81,93 @@ func (h *Hamiltonian) Apply(psi, out, scratch []complex128) {
 	}
 }
 
-// NewScratch allocates an FFT-grid work buffer for Apply.
-func (h *Hamiltonian) NewScratch() []complex128 {
-	return make([]complex128, h.Basis.Grid.Size())
+// ApplyAll computes HΨ for the packed wave-function matrix Ψ (Np×Nband)
+// into a freshly allocated matrix. See ApplyAllInto.
+func (h *Hamiltonian) ApplyAll(psi *linalg.CMatrix) *linalg.CMatrix {
+	out := linalg.NewCMatrix(psi.Rows, psi.Cols)
+	h.ApplyAllInto(psi, out)
+	return out
 }
 
-// ApplyAll computes HΨ for the packed wave-function matrix Ψ (Np×Nband).
-// The kinetic and local parts are applied per band across parallel
-// workers (band decomposition, §3.3); the nonlocal part uses the BLAS3
-// all-band form unless NlMode selects the band-by-band path.
-func (h *Hamiltonian) ApplyAll(psi *linalg.CMatrix) *linalg.CMatrix {
+// ApplyAllInto computes HΨ into out (same shape as psi). The local part
+// runs as two batched 3-D FFTs over all bands — the fft worker pool
+// fans out per grid, replacing the old per-band goroutine fan-out that
+// oversubscribed GOMAXPROCS FFT goroutines per band worker — and the
+// nonlocal part uses the BLAS3 all-band form unless NlMode selects the
+// band-by-band path (§3.4 ablation). All scratch comes from the basis
+// pools; steady-state calls allocate nothing beyond the caller's out.
+func (h *Hamiltonian) ApplyAllInto(psi, out *linalg.CMatrix) {
 	b := h.Basis
 	nb := psi.Cols
 	defer phApplyH.Start().StopFlops(h.applyAllFlops(nb))
-	out := linalg.NewCMatrix(psi.Rows, nb)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > nb {
-		workers = nb
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	next := make(chan int, nb)
-	for n := 0; n < nb; n++ {
-		next <- n
-	}
-	close(next)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			scratch := h.NewScratch()
+	size := b.Grid.Size()
+	batch := b.GetBatch(nb * size)
+	// Local potential: scatter → batched inverse FFT → ×Vloc →
+	// batched forward FFT → gather (fused with the kinetic term below).
+	b.ToRealSpaceBatch(psi, batch)
+	parallelRange(nb, func(lo, hi int) {
+		for n := lo; n < hi; n++ {
+			g := batch[n*size : (n+1)*size]
+			for i, v := range h.Vloc {
+				g[i] *= complex(v, 0)
+			}
+		}
+	})
+	b.plan.ForwardBatch(batch[:nb*size], nb)
+	// out(G,n) = ½G² ψ(G,n) + (1/N³)·(VlocψR)(G,n), assembled row-wise so
+	// the matrix accesses stay contiguous.
+	invN3 := complex(1/float64(size), 0)
+	parallelRange(psi.Rows, func(lo, hi int) {
+		for gi := lo; gi < hi; gi++ {
+			kin := complex(b.G2[gi]/2, 0)
+			fi := b.FFTi[gi]
+			prow := psi.Row(gi)
+			orow := out.Row(gi)
+			for n := range prow {
+				orow[n] = kin*prow[n] + invN3*batch[n*size+fi]
+			}
+		}
+	})
+	b.PutBatch(batch)
+	// Nonlocal part.
+	if h.Proj != nil && h.Proj.NumProjectors() > 0 {
+		if h.NlMode == NonlocalBLAS2 {
 			col := make([]complex128, psi.Rows)
 			res := make([]complex128, psi.Rows)
-			tmp := make([]complex128, b.Np())
-			for n := range next {
+			for n := 0; n < nb; n++ {
 				psi.Col(n, col)
-				for i, g2 := range b.G2 {
-					res[i] = complex(g2/2, 0) * col[i]
-				}
-				b.ToRealSpace(col, scratch)
-				for i, v := range h.Vloc {
-					scratch[i] *= complex(v, 0)
-				}
-				b.FromRealSpace(scratch, tmp)
-				for i := range res {
-					res[i] += tmp[i]
-				}
-				if h.NlMode == NonlocalBLAS2 && h.Proj != nil {
-					h.Proj.ApplyBandByBand(col, res)
-				}
+				out.Col(n, res)
+				h.Proj.ApplyBandByBand(col, res)
 				out.SetCol(n, res)
 			}
-		}()
+		} else {
+			h.Proj.ApplyAllBand(psi, out)
+		}
+	}
+}
+
+// parallelRange splits [0, n) into one contiguous chunk per GOMAXPROCS
+// worker. With a single processor (or n == 1) it runs inline.
+func parallelRange(n int, f func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		f(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
 	}
 	wg.Wait()
-	if h.NlMode == NonlocalBLAS3 && h.Proj != nil {
-		h.Proj.ApplyAllBand(psi, out)
-	}
-	return out
 }
 
 // KineticExpectation returns ⟨ψ|−½∇²|ψ⟩ for one coefficient vector.
@@ -141,26 +185,33 @@ func (h *Hamiltonian) KineticExpectation(psi []complex128) float64 {
 func BuildLocalPseudo(b *Basis, species []*atoms.Species, positions []geom.Vec3) []float64 {
 	n := b.Grid.N
 	size := b.Grid.Size()
-	unit := 2 * math.Pi / b.Grid.L
 	// Accumulate V(G) on the full FFT grid in reciprocal space, then one
 	// inverse FFT. Group atoms by species so the form factor is computed
-	// once per (species, G).
-	vg := make([]complex128, size)
+	// once per (species, G); the folded frequencies and |G|² come from
+	// the basis lookups shared with the kinetic and Hartree kernels.
+	vg := b.GetGrid()
+	defer b.PutGrid(vg)
+	for i := range vg {
+		vg[i] = 0
+	}
+	ax := b.axisG
+	g2g := b.g2Grid
 	bySpecies := map[*atoms.Species][]geom.Vec3{}
 	for ai, sp := range species {
 		bySpecies[sp] = append(bySpecies[sp], positions[ai])
 	}
 	invVol := 1 / b.Volume()
 	for sp, pos := range bySpecies {
+		idx := 0
 		for ix := 0; ix < n; ix++ {
-			gx := float64(fold(ix, n)) * unit
+			gx := ax[ix]
 			for iy := 0; iy < n; iy++ {
-				gy := float64(fold(iy, n)) * unit
+				gy := ax[iy]
 				for iz := 0; iz < n; iz++ {
-					gz := float64(fold(iz, n)) * unit
-					g2 := gx*gx + gy*gy + gz*gz
-					ff := pseudo.LocalG(sp, g2) * invVol
+					gz := ax[iz]
+					ff := pseudo.LocalG(sp, g2g[idx]) * invVol
 					if ff == 0 {
+						idx++
 						continue
 					}
 					// Structure factor Σ_I e^{−iG·R_I}.
@@ -170,7 +221,8 @@ func BuildLocalPseudo(b *Basis, species []*atoms.Species, positions []geom.Vec3)
 						sre += math.Cos(ph)
 						sim += math.Sin(ph)
 					}
-					vg[(ix*n+iy)*n+iz] += complex(ff*sre, ff*sim)
+					vg[idx] += complex(ff*sre, ff*sim)
+					idx++
 				}
 			}
 		}
@@ -189,29 +241,19 @@ func BuildLocalPseudo(b *Basis, species []*atoms.Species, positions []geom.Vec3)
 // V_H(r). This is the "locally fast" Poisson path used inside domains;
 // the global problem uses internal/multigrid instead (GSLF hybrid, §3.2).
 func HartreeFFT(b *Basis, rho []float64) []float64 {
-	n := b.Grid.N
 	size := b.Grid.Size()
-	work := make([]complex128, size)
+	work := b.GetGrid()
+	defer b.PutGrid(work)
 	for i, v := range rho {
 		work[i] = complex(v, 0)
 	}
 	b.plan.Forward(work)
-	unit := 2 * math.Pi / b.Grid.L
-	for ix := 0; ix < n; ix++ {
-		gx := float64(fold(ix, n)) * unit
-		for iy := 0; iy < n; iy++ {
-			gy := float64(fold(iy, n)) * unit
-			for iz := 0; iz < n; iz++ {
-				idx := (ix*n+iy)*n + iz
-				gz := float64(fold(iz, n)) * unit
-				g2 := gx*gx + gy*gy + gz*gz
-				if g2 == 0 {
-					work[idx] = 0 // compensating background removes G=0
-					continue
-				}
-				work[idx] *= complex(4*math.Pi/g2, 0)
-			}
+	for i, g2 := range b.g2Grid {
+		if g2 == 0 {
+			work[i] = 0 // compensating background removes G=0
+			continue
 		}
+		work[i] *= complex(4*math.Pi/g2, 0)
 	}
 	b.plan.Inverse(work)
 	out := make([]float64, size)

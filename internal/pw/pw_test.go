@@ -110,7 +110,7 @@ func TestToRealSpaceIsPlaneWaveSum(t *testing.T) {
 func buildDenseH(h *Hamiltonian) *linalg.CMatrix {
 	np := h.Basis.Np()
 	dense := linalg.NewCMatrix(np, np)
-	scratch := h.NewScratch()
+	ws := h.NewWorkspace()
 	e := make([]complex128, np)
 	out := make([]complex128, np)
 	for j := 0; j < np; j++ {
@@ -118,7 +118,7 @@ func buildDenseH(h *Hamiltonian) *linalg.CMatrix {
 			e[i] = 0
 		}
 		e[j] = 1
-		h.Apply(e, out, scratch)
+		h.Apply(e, out, ws)
 		for i := 0; i < np; i++ {
 			dense.Set(i, j, out[i])
 		}
@@ -146,7 +146,7 @@ func TestHamiltonianHermitian(t *testing.T) {
 	h, _, _ := testHamiltonian(t, true)
 	rng := rand.New(rand.NewSource(2))
 	np := h.Basis.Np()
-	scratch := h.NewScratch()
+	ws := h.NewWorkspace()
 	x := make([]complex128, np)
 	y := make([]complex128, np)
 	hx := make([]complex128, np)
@@ -156,8 +156,8 @@ func TestHamiltonianHermitian(t *testing.T) {
 			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
 			y[i] = complex(rng.NormFloat64(), rng.NormFloat64())
 		}
-		h.Apply(x, hx, scratch)
-		h.Apply(y, hy, scratch)
+		h.Apply(x, hx, ws)
+		h.Apply(y, hy, ws)
 		lhs := linalg.CDot(y, hx) // ⟨y|Hx⟩
 		rhs := linalg.CDot(hy, x) // ⟨Hy|x⟩
 		if cmplx.Abs(lhs-rhs) > 1e-8*(1+cmplx.Abs(lhs)) {
@@ -178,12 +178,12 @@ func TestApplyAllMatchesApply(t *testing.T) {
 	for _, mode := range []NonlocalVariant{NonlocalBLAS3, NonlocalBLAS2} {
 		h.NlMode = mode
 		all := h.ApplyAll(psi)
-		scratch := h.NewScratch()
+		ws := h.NewWorkspace()
 		col := make([]complex128, np)
 		out := make([]complex128, np)
 		for n := 0; n < nb; n++ {
 			psi.Col(n, col)
-			h.Apply(col, out, scratch)
+			h.Apply(col, out, ws)
 			for i := 0; i < np; i++ {
 				if cmplx.Abs(all.At(i, n)-out[i]) > 1e-9 {
 					t.Fatalf("mode %v band %d: ApplyAll differs from Apply at %d", mode, n, i)
@@ -265,6 +265,37 @@ func TestSolveAllBandMatchesDense(t *testing.T) {
 			if cmplx.Abs(s.At(i, j)-want) > 1e-8 {
 				t.Fatal("converged states not orthonormal")
 			}
+		}
+	}
+}
+
+// TestSolveAllBandHPsiReuse checks the expansion-step optimization that
+// reuses the retained columns' HΨ (ROADMAP item 3): eigenvalues from the
+// reuse path must match the full re-apply path to far below the solver
+// tolerance.
+func TestSolveAllBandHPsiReuse(t *testing.T) {
+	h, _, _ := testHamiltonian(t, true)
+	nb := 6
+	rng := rand.New(rand.NewSource(11))
+	psiA, err := RandomOrbitals(h.Basis, nb, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psiB := psiA.Clone()
+	resA, err := SolveAllBand(h, psiA, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expandFullApply = true
+	defer func() { expandFullApply = false }()
+	resB, err := SolveAllBand(h, psiB, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < nb; n++ {
+		if d := math.Abs(resA.Eigenvalues[n] - resB.Eigenvalues[n]); d > 1e-8 {
+			t.Fatalf("band %d: HΨ-reuse %g vs full-apply %g (Δ=%g)",
+				n, resA.Eigenvalues[n], resB.Eigenvalues[n], d)
 		}
 	}
 }

@@ -140,17 +140,19 @@ func (e *Engine) BandKineticNonlocal(occ []float64) float64 {
 func (e *Engine) InitialDensity() []float64 {
 	b := e.Basis
 	size := b.Grid.Size()
-	work := make([]complex128, size)
+	work := b.GetGrid()
+	defer b.PutGrid(work)
 	n := b.Grid.N
-	unit := twoPi / b.Grid.L
+	ax := b.AxisG()
+	g2g := b.G2Grid()
 	invVol := 1 / b.Volume()
 	for ix := 0; ix < n; ix++ {
-		gx := float64(foldIndex(ix, n)) * unit
+		gx := ax[ix]
 		for iy := 0; iy < n; iy++ {
-			gy := float64(foldIndex(iy, n)) * unit
+			gy := ax[iy]
 			for iz := 0; iz < n; iz++ {
-				gz := float64(foldIndex(iz, n)) * unit
-				g2 := gx*gx + gy*gy + gz*gz
+				gz := ax[iz]
+				g2 := g2g[(ix*n+iy)*n+iz]
 				var sre, sim float64
 				for ai, sp := range e.Species {
 					sigma := 1.5 * sp.PsSigma

@@ -11,16 +11,7 @@ import (
 	"ldcdft/internal/xc"
 )
 
-// twoPi and small math helpers keep the hot loops readable.
-const twoPi = 2 * math.Pi
-
-func foldIndex(i, n int) int {
-	if i <= n/2 {
-		return i
-	}
-	return i - n
-}
-
+// Small math helpers keep the hot loops readable.
 func expNeg(x float64) float64 { return math.Exp(-x) }
 func cosf(x float64) float64   { return math.Cos(x) }
 func sinf(x float64) float64   { return math.Sin(x) }
