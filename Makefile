@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt check race bench
+.PHONY: build test vet fmt check race bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -20,16 +20,25 @@ check: fmt vet test
 
 # Race-check the concurrency-heavy packages (FFT worker pool and pooled
 # scratch arenas, goroutine pool, collective I/O, parallel SCF assembly,
-# atomic perf counters, pooled pw/pseudo scratch). -short skips the
-# full SCF-convergence solves (minutes each under the race detector)
-# while keeping every concurrency path: pool error/panic ordering,
-# parallel SCFStep, collective writes, registry hammering, concurrent
-# Cached3 lookups.
+# atomic perf counters, pooled pw/pseudo scratch, checkpoint writes:
+# concurrent collective checkpoint I/O during a trajectory, in both
+# internal/qio and the root package). -short skips the full
+# SCF-convergence solves (minutes each under the race detector) while
+# keeping every concurrency path: pool error/panic ordering, parallel
+# SCFStep, collective and checkpoint writes, registry hammering,
+# concurrent Cached3 lookups.
 race: vet
-	$(GO) test -race -short ./internal/fft/... ./internal/pw/... ./internal/pseudo/... ./internal/bsd/... ./internal/qio/... ./internal/core/... ./internal/perf/...
+	$(GO) test -race -short . ./internal/fft/... ./internal/pw/... ./internal/pseudo/... ./internal/bsd/... ./internal/qio/... ./internal/core/... ./internal/perf/... ./internal/md/...
 
 bench: bench-fft
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# bench-smoke compiles and runs every benchmark exactly once and pushes
+# one benchmark through the cmd/benchjson pipe, so benchmark code and the
+# BENCH_fft.json plumbing cannot rot silently. CI runs this on every PR.
+bench-smoke: build
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+	$(GO) test -run '^$$' -bench 'Benchmark3DBatch' -benchtime 1x ./internal/fft/ | $(GO) run ./cmd/benchjson > /dev/null
 
 # bench-fft runs the FFT/Hamiltonian hot-path benchmarks with allocation
 # reporting and records the machine-readable results in BENCH_fft.json.

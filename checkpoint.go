@@ -1,0 +1,131 @@
+package qmd
+
+import (
+	"fmt"
+
+	"ldcdft/internal/geom"
+	"ldcdft/internal/grid"
+	"ldcdft/internal/md"
+	"ldcdft/internal/qio"
+	"ldcdft/internal/units"
+)
+
+// QMDOptions carries the trajectory options beyond the physics
+// configuration — currently the checkpoint/restart policy. The zero
+// value disables checkpointing.
+type QMDOptions struct {
+	// CheckpointEvery writes a checkpoint after every N completed MD
+	// steps (0 = never). Combined with CheckpointPath.
+	CheckpointEvery int
+	// CheckpointPath is the checkpoint file; each write replaces it
+	// atomically (temp file + fsync + rename).
+	CheckpointPath string
+	// CheckpointGroupSize is the collective-I/O aggregation group size
+	// (0 = 192, the paper's §4.2 optimum).
+	CheckpointGroupSize int
+}
+
+// RunQMDOpts is RunQMD with trajectory options: every CheckpointEvery
+// steps the full restartable state — configuration, last forces, the
+// converged SCF density, and the accumulated per-step record — is
+// written through the collective I/O path of internal/qio.
+func RunQMDOpts(sys *System, cfg LDCConfig, steps int, dtFs float64, opts QMDOptions) (*QMDResult, error) {
+	ff := &DFTForceField{Cfg: cfg}
+	in := md.NewIntegrator(ff, dtFs)
+	return runTrajectory(sys.Clone(), cfg, steps, 0, in, ff, &QMDResult{}, opts)
+}
+
+// ResumeQMD restores a trajectory from a checkpoint and continues it to
+// steps total MD steps (if the checkpoint is already at or past steps,
+// no further steps run and the recorded trajectory is returned). The
+// integrator is re-primed with the checkpointed forces and the SCF is
+// warm-started from the checkpointed density, so a resumed trajectory
+// reproduces the uninterrupted one bit-for-bit. A dtFs of 0 adopts the
+// checkpoint's time step.
+func ResumeQMD(path string, cfg LDCConfig, steps int, dtFs float64, opts QMDOptions) (*QMDResult, error) {
+	ck, err := qio.ReadCheckpoint(path)
+	if err != nil {
+		return nil, err
+	}
+	work, err := ck.RestoreSystem()
+	if err != nil {
+		return nil, err
+	}
+	if dtFs == 0 {
+		dtFs = ck.DtFs
+	}
+	ff := &DFTForceField{Cfg: cfg}
+	if ck.GridN > 0 {
+		if cfg.GridN != ck.GridN {
+			return nil, fmt.Errorf("qmd: resume: checkpoint density grid %d³ does not match configured grid %d³",
+				ck.GridN, cfg.GridN)
+		}
+		ff.SetDensity(&grid.Field{Grid: grid.New(ck.GridN, work.Cell.L), Data: ck.Rho})
+	}
+	in := md.NewIntegrator(ff, dtFs)
+	if ck.Force != nil {
+		in.Prime(ck.Energy, ck.Force)
+	}
+	out := &QMDResult{
+		Steps:         ck.Step,
+		SCFIterations: ck.SCFIterations,
+		Energies:      ck.Energies,
+		Temperatures:  ck.Temperatures,
+	}
+	if steps < ck.Step {
+		steps = ck.Step
+	}
+	return runTrajectory(work, cfg, steps, ck.Step, in, ff, out, opts)
+}
+
+// runTrajectory advances work from startStep to steps total MD steps,
+// accumulating into out. On a mid-trajectory error the partial result —
+// including the last good FinalSystem — is returned alongside the error,
+// so callers (and checkpoints) keep the state up to the failure.
+func runTrajectory(work *System, cfg LDCConfig, steps, startStep int, in *md.Integrator,
+	ff *DFTForceField, out *QMDResult, opts QMDOptions) (*QMDResult, error) {
+	for i := startStep; i < steps; i++ {
+		if err := in.Step(work); err != nil {
+			out.FinalSystem = work
+			return out, fmt.Errorf("qmd: MD step %d: %w", i+1, err)
+		}
+		out.Steps++
+		out.SCFIterations += ff.LastSCFIters
+		out.Energies = append(out.Energies, in.PotentialEnergy())
+		out.Temperatures = append(out.Temperatures, work.Temperature())
+		if opts.CheckpointEvery > 0 && opts.CheckpointPath != "" && (i+1)%opts.CheckpointEvery == 0 {
+			if err := writeQMDCheckpoint(work, in, ff, out, opts); err != nil {
+				out.FinalSystem = work
+				return out, fmt.Errorf("qmd: checkpoint at step %d: %w", i+1, err)
+			}
+		}
+	}
+	out.FinalSystem = work
+	return out, nil
+}
+
+// writeQMDCheckpoint captures the restartable trajectory state and
+// writes it through the collective checkpoint path.
+func writeQMDCheckpoint(work *System, in *md.Integrator, ff *DFTForceField,
+	out *QMDResult, opts QMDOptions) error {
+	ck, err := qio.CheckpointFromSystem(work)
+	if err != nil {
+		return err
+	}
+	ck.Step = out.Steps
+	ck.DtFs = in.DtAU * units.FsPerAtomicTime
+	ck.Energy = in.PotentialEnergy()
+	ck.Force = append([]geom.Vec3(nil), in.Forces()...)
+	ck.SCFIterations = out.SCFIterations
+	ck.Energies = out.Energies
+	ck.Temperatures = out.Temperatures
+	if rho := ff.Density(); rho != nil {
+		ck.GridN = rho.Grid.N
+		ck.Rho = rho.Data
+	}
+	_, err = qio.WriteCheckpoint(opts.CheckpointPath, ck, qio.CheckpointWriteOptions{
+		GroupSize:      opts.CheckpointGroupSize,
+		DomainsPerAxis: ff.Cfg.DomainsPerAxis,
+	})
+	return err
+}

@@ -31,6 +31,10 @@ func main() {
 		steps   = flag.Int("steps", 4000, "MD steps (paper production: 21,140)")
 		seed    = flag.Int64("seed", 1, "random seed")
 		snap    = flag.String("snapshot", "", "write a compressed final snapshot to this file")
+		ckPath  = flag.String("checkpoint", "", "write restartable checkpoints to this file during the run")
+		ckEvery = flag.Int("checkpoint-every", 500, "MD steps between checkpoint writes")
+		ckGroup = flag.Int("checkpoint-group", 192, "collective-I/O aggregation group size for checkpoints")
+		resume  = flag.String("resume", "", "resume the trajectory from this checkpoint file")
 		doPerf  = flag.Bool("perf", false, "print the per-phase performance report after the run")
 		perfJS  = flag.String("perf-json", "", "write the per-phase report as JSON to this file")
 		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -45,17 +49,37 @@ func main() {
 	perf.Global.Reset()
 	perf.Default.Reset()
 
-	rng := rand.New(rand.NewSource(*seed))
-	sys, err := atoms.BuildLiAlInWater(atoms.LiAlParticleSpec{PairCount: *pairs}, rng)
-	if err != nil {
-		log.Fatalf("build: %v", err)
-	}
-	fmt.Printf("Li%dAl%d in water: %d atoms, cell %.1f Bohr, %d surface metal atoms\n",
-		*pairs, *pairs, sys.NumAtoms(), sys.Cell.L, reactive.SurfaceAtoms(sys))
-
-	res, err := reactive.RunProduction(sys, reactive.ProductionConfig{
+	cfg := reactive.ProductionConfig{
 		TempK: *tempK, Steps: *steps, SampleEvery: *steps / 8, Seed: *seed,
-	})
+		CheckpointEvery: *ckEvery, CheckpointPath: *ckPath, CheckpointGroupSize: *ckGroup,
+	}
+	if *ckPath == "" {
+		cfg.CheckpointEvery = 0
+	}
+	var sys *atoms.System
+	if *resume != "" {
+		ck, err := qio.ReadCheckpoint(*resume)
+		if err != nil {
+			log.Fatalf("resume: %v", err)
+		}
+		if sys, err = ck.RestoreSystem(); err != nil {
+			log.Fatalf("resume: %v", err)
+		}
+		cfg.Resume = ck
+		fmt.Printf("resumed from %s at step %d: %d atoms, cell %.1f Bohr\n",
+			*resume, ck.Step, sys.NumAtoms(), sys.Cell.L)
+	} else {
+		rng := rand.New(rand.NewSource(*seed))
+		var err error
+		sys, err = atoms.BuildLiAlInWater(atoms.LiAlParticleSpec{PairCount: *pairs}, rng)
+		if err != nil {
+			log.Fatalf("build: %v", err)
+		}
+		fmt.Printf("Li%dAl%d in water: %d atoms, cell %.1f Bohr, %d surface metal atoms\n",
+			*pairs, *pairs, sys.NumAtoms(), sys.Cell.L, reactive.SurfaceAtoms(sys))
+	}
+
+	res, err := reactive.RunProduction(sys, cfg)
 	if err != nil {
 		log.Fatalf("run: %v", err)
 	}

@@ -36,6 +36,10 @@ func main() {
 		dcMode  = flag.Bool("dc", false, "use original DC (no boundary potential)")
 		seed    = flag.Int64("seed", 1, "random seed")
 		xyzPath = flag.String("xyz", "", "write the trajectory to this XYZ file")
+		ckPath  = flag.String("checkpoint", "", "write restartable checkpoints to this file during the run")
+		ckEvery = flag.Int("checkpoint-every", 1, "MD steps between checkpoint writes")
+		ckGroup = flag.Int("checkpoint-group", 192, "collective-I/O aggregation group size for checkpoints")
+		resume  = flag.String("resume", "", "resume the trajectory from this checkpoint file")
 		doPerf  = flag.Bool("perf", false, "print the per-phase performance report after the run")
 		perfJS  = flag.String("perf-json", "", "write the per-phase report as JSON to this file")
 		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -69,10 +73,24 @@ func main() {
 		EigenIters:     4,
 		Seed:           *seed,
 	}
-	fmt.Printf("system: %d atoms (SiC), cell %.3f Bohr, %s mode, %d³ domains, buffer %d pts\n",
-		sys.NumAtoms(), sys.Cell.L, mode, *domains, *bufN)
+	opts := qmd.QMDOptions{
+		CheckpointEvery:     *ckEvery,
+		CheckpointPath:      *ckPath,
+		CheckpointGroupSize: *ckGroup,
+	}
+	if *ckPath == "" {
+		opts.CheckpointEvery = 0
+	}
 
-	res, err := qmd.RunQMD(sys, cfg, *steps, *dtFs)
+	var res *qmd.QMDResult
+	if *resume != "" {
+		fmt.Printf("resuming from %s (total trajectory %d steps)\n", *resume, *steps)
+		res, err = qmd.ResumeQMD(*resume, cfg, *steps, *dtFs, opts)
+	} else {
+		fmt.Printf("system: %d atoms (SiC), cell %.3f Bohr, %s mode, %d³ domains, buffer %d pts\n",
+			sys.NumAtoms(), sys.Cell.L, mode, *domains, *bufN)
+		res, err = qmd.RunQMDOpts(sys, cfg, *steps, *dtFs, opts)
+	}
 	if err != nil {
 		log.Printf("error: %v", err)
 		os.Exit(1)

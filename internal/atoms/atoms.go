@@ -61,6 +61,20 @@ var (
 		PsSigma: 0.75, PsKappa: 1.0, PsNlE: []float64{0.7}, PsNlSigma: 0.9, CovRadius: 2.25}
 )
 
+// SpeciesBySymbol resolves a chemical symbol to its predefined Species
+// (nil if unknown) — the inverse of the symbol tables that serialized
+// snapshots and checkpoints store.
+func SpeciesBySymbol(symbol string) *Species {
+	for _, sp := range []*Species{
+		Hydrogen, Oxygen, Lithium, Aluminum, Silicon, Carbon, Cadmium, Selenium,
+	} {
+		if sp.Symbol == symbol {
+			return sp
+		}
+	}
+	return nil
+}
+
 // Atom is one atom in a configuration.
 type Atom struct {
 	Species  *Species

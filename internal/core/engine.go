@@ -212,6 +212,13 @@ func (e *Engine) SetDensity(rho *grid.Field) error {
 	return nil
 }
 
+// ExportDensity returns a copy of the current global density, decoupled
+// from the engine's working buffers — the counterpart of SetDensity for
+// checkpointing and cross-step warm starts.
+func (e *Engine) ExportDensity() *grid.Field {
+	return e.Rho.Clone()
+}
+
 // DegreesOfFreedom returns the total number of wave-function and charge-
 // density values — the quantity the paper's abstract counts (39.8
 // trillion for the 50.3M-atom run).

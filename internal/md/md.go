@@ -122,6 +122,17 @@ func (in *Integrator) Forces() []geom.Vec3 { return in.forces }
 // Steps returns the number of completed MD steps.
 func (in *Integrator) Steps() int { return in.steps }
 
+// Prime installs a force evaluation as if a Step had just completed —
+// the checkpoint-restart hook. A resumed integrator must not recompute
+// the initial forces: re-priming with the checkpointed forces makes the
+// first resumed step start from bitwise the same state as the
+// uninterrupted trajectory.
+func (in *Integrator) Prime(energy float64, forces []geom.Vec3) {
+	in.energy = energy
+	in.forces = forces
+	in.primed = true
+}
+
 // Step advances the system by one velocity-Verlet step:
 // v += F/m·dt/2; r += v·dt; recompute F; v += F/m·dt/2.
 func (in *Integrator) Step(sys *atoms.System) error {

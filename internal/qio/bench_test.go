@@ -1,9 +1,12 @@
 package qio
 
 import (
+	"math"
+	"path/filepath"
 	"testing"
 
 	"ldcdft/internal/atoms"
+	"ldcdft/internal/geom"
 )
 
 func BenchmarkCompressSnapshot(b *testing.B) {
@@ -19,5 +22,69 @@ func BenchmarkCompressSnapshot(b *testing.B) {
 func BenchmarkHilbertIndex(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		hilbertIndex(12, uint32(i)&4095, uint32(i>>3)&4095, uint32(i>>6)&4095)
+	}
+}
+
+// benchCheckpoint builds a production-shaped checkpoint: 512 atoms with
+// forces and a smooth 32³ density grid.
+func benchCheckpoint(b *testing.B) *Checkpoint {
+	b.Helper()
+	sys := atoms.BuildSiC(4)
+	ck, err := CheckpointFromSystem(sys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ck.Step = 100
+	ck.Force = make([]geom.Vec3, len(ck.Pos))
+	n := 32
+	ck.GridN = n
+	ck.Rho = make([]float64, n*n*n)
+	for i := range ck.Rho {
+		ck.Rho[i] = 0.4 + 0.1*math.Sin(float64(i)/97)
+	}
+	return ck
+}
+
+func BenchmarkCheckpointWrite(b *testing.B) {
+	ck := benchCheckpoint(b)
+	path := filepath.Join(b.TempDir(), "ck.qmd")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := WriteCheckpoint(path, ck, CheckpointWriteOptions{DomainsPerAxis: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(n)
+	}
+}
+
+func BenchmarkCheckpointRead(b *testing.B) {
+	ck := benchCheckpoint(b)
+	path := filepath.Join(b.TempDir(), "ck.qmd")
+	n, err := WriteCheckpoint(path, ck, CheckpointWriteOptions{DomainsPerAxis: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadCheckpoint(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFieldCompress(b *testing.B) {
+	n := 32
+	data := make([]float64, n*n*n)
+	for i := range data {
+		data[i] = 0.4 + 0.1*math.Sin(float64(i)/97)
+	}
+	b.SetBytes(int64(len(data) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CompressField(data, n); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -1,0 +1,593 @@
+package qio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+
+	"ldcdft/internal/atoms"
+	"ldcdft/internal/geom"
+	"ldcdft/internal/perf"
+)
+
+// Versioned binary checkpoint format for restartable trajectories (§4.2:
+// long production runs are only sustainable with aggregated checkpoint
+// I/O). A checkpoint file is
+//
+//	magic "LDCQMDCK" | version uint32 | sections | crc32
+//
+// where each section is a uvarint byte length followed by its body:
+// first the header (cell, step counter, accumulated trajectory state,
+// species table), then one atom section per spatial domain (global index,
+// species id, position, velocity and — when present — force per atom),
+// then the density section (the converged SCF density compressed
+// losslessly with the Hilbert-curve field codec). The trailing CRC-32
+// (IEEE) covers every preceding byte, so truncation and corruption are
+// detected before any state is restored.
+//
+// Format policy: CheckpointVersion is bumped on any breaking layout
+// change and readers reject versions they do not know — a restart must
+// never silently misinterpret trajectory state.
+
+// CheckpointVersion is the current format version.
+const CheckpointVersion = 1
+
+// checkpointMagic opens every checkpoint file.
+const checkpointMagic = "LDCQMDCK"
+
+const (
+	ckFlagForces  = 1 << 0
+	ckFlagDensity = 1 << 1
+)
+
+var (
+	phCheckpointWrite = perf.GetPhase("qio/checkpoint-write")
+	phCheckpointRead  = perf.GetPhase("qio/checkpoint-read")
+)
+
+// Checkpoint is the complete restartable state of a trajectory: the
+// atomic configuration with its last force evaluation (so the integrator
+// can be re-primed exactly), the converged density grid (the SCF warm
+// start), and the accumulated per-step trajectory record.
+type Checkpoint struct {
+	Step  int     // completed MD steps
+	DtFs  float64 // time step (fs)
+	CellL float64 // periodic cell edge (Bohr)
+
+	Symbols []string // species table
+	Spec    []uint8  // per-atom index into Symbols
+	Pos     []geom.Vec3
+	Vel     []geom.Vec3
+	Force   []geom.Vec3 // last evaluated forces (nil = re-evaluate on resume)
+	Energy  float64     // potential energy of the last force evaluation
+
+	GridN int       // density grid points per axis (0 = no density)
+	Rho   []float64 // converged density, z fastest (len GridN³)
+
+	// Accumulated QMD trajectory state.
+	SCFIterations int
+	Energies      []float64
+	Temperatures  []float64
+}
+
+// CheckpointFromSystem captures the configuration (species table,
+// positions, velocities) of sys. The caller fills in the trajectory
+// fields (Step, Force, Energy, density, accumulated record).
+func CheckpointFromSystem(sys *atoms.System) (*Checkpoint, error) {
+	n := sys.NumAtoms()
+	ck := &Checkpoint{
+		CellL: sys.Cell.L,
+		Spec:  make([]uint8, n),
+		Pos:   make([]geom.Vec3, n),
+		Vel:   make([]geom.Vec3, n),
+	}
+	id := map[*atoms.Species]uint8{}
+	for i, a := range sys.Atoms {
+		s, ok := id[a.Species]
+		if !ok {
+			if len(ck.Symbols) >= 255 {
+				return nil, fmt.Errorf("qio: checkpoint: too many species")
+			}
+			s = uint8(len(ck.Symbols))
+			id[a.Species] = s
+			ck.Symbols = append(ck.Symbols, a.Species.Symbol)
+		}
+		ck.Spec[i] = s
+		ck.Pos[i] = a.Position
+		ck.Vel[i] = a.Velocity
+	}
+	return ck, nil
+}
+
+// RestoreSystem rebuilds the atomic configuration, resolving species by
+// symbol against the predefined table.
+func (ck *Checkpoint) RestoreSystem() (*atoms.System, error) {
+	species := make([]*atoms.Species, len(ck.Symbols))
+	for i, sym := range ck.Symbols {
+		sp := atoms.SpeciesBySymbol(sym)
+		if sp == nil {
+			return nil, fmt.Errorf("qio: checkpoint: unknown species %q", sym)
+		}
+		species[i] = sp
+	}
+	sys := &atoms.System{Cell: geom.Cell{L: ck.CellL}, Atoms: make([]atoms.Atom, len(ck.Pos))}
+	for i := range ck.Pos {
+		if int(ck.Spec[i]) >= len(species) {
+			return nil, fmt.Errorf("qio: checkpoint: atom %d species id %d out of range", i, ck.Spec[i])
+		}
+		sys.Atoms[i] = atoms.Atom{Species: species[ck.Spec[i]], Position: ck.Pos[i], Velocity: ck.Vel[i]}
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, fmt.Errorf("qio: checkpoint: %w", err)
+	}
+	return sys, nil
+}
+
+// CheckpointWriteOptions tunes the collective write path.
+type CheckpointWriteOptions struct {
+	// GroupSize is the collective-I/O aggregation group size
+	// (default 192, the paper's optimum).
+	GroupSize int
+	// DomainsPerAxis partitions atoms into per-domain rank payloads
+	// (default 1: a single payload).
+	DomainsPerAxis int
+}
+
+type ckEncoder struct {
+	buf []byte
+	tmp [binary.MaxVarintLen64]byte
+}
+
+func (e *ckEncoder) uvarint(v uint64) {
+	k := binary.PutUvarint(e.tmp[:], v)
+	e.buf = append(e.buf, e.tmp[:k]...)
+}
+
+func (e *ckEncoder) f64(v float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+
+func (e *ckEncoder) vec(v geom.Vec3) { e.f64(v.X); e.f64(v.Y); e.f64(v.Z) }
+
+// section frames a body with its uvarint length.
+func section(body []byte) []byte {
+	var e ckEncoder
+	e.uvarint(uint64(len(body)))
+	return append(e.buf, body...)
+}
+
+// encode serializes the checkpoint into the collective rank payloads:
+// payload 0 is the preamble + header section, payloads 1..n are the
+// per-domain atom sections, and the last payload is the density section
+// plus the CRC trailer.
+func (ck *Checkpoint) encode(domainsPerAxis int) ([][]byte, error) {
+	n := len(ck.Pos)
+	if len(ck.Vel) != n || len(ck.Spec) != n {
+		return nil, fmt.Errorf("qio: checkpoint: inconsistent atom arrays (%d pos, %d vel, %d spec)",
+			n, len(ck.Vel), len(ck.Spec))
+	}
+	hasForces := ck.Force != nil
+	if hasForces && len(ck.Force) != n {
+		return nil, fmt.Errorf("qio: checkpoint: %d forces for %d atoms", len(ck.Force), n)
+	}
+	hasDensity := ck.GridN > 0
+	if hasDensity && len(ck.Rho) != ck.GridN*ck.GridN*ck.GridN {
+		return nil, fmt.Errorf("qio: checkpoint: density length %d is not %d³", len(ck.Rho), ck.GridN)
+	}
+	if ck.CellL <= 0 {
+		return nil, fmt.Errorf("qio: checkpoint: non-positive cell %g", ck.CellL)
+	}
+	nd := domainsPerAxis
+	if nd < 1 {
+		nd = 1
+	}
+
+	// Partition atoms into per-domain rank payloads by position.
+	ndom := nd * nd * nd
+	domainOf := func(p geom.Vec3) int {
+		clamp := func(x float64) int {
+			i := int(x / ck.CellL * float64(nd))
+			if i < 0 {
+				i = 0
+			}
+			if i >= nd {
+				i = nd - 1
+			}
+			return i
+		}
+		w := geom.Cell{L: ck.CellL}.Wrap(p)
+		return (clamp(w.X)*nd+clamp(w.Y))*nd + clamp(w.Z)
+	}
+	members := make([][]int, ndom)
+	for i := 0; i < n; i++ {
+		d := domainOf(ck.Pos[i])
+		members[d] = append(members[d], i)
+	}
+
+	// Header section.
+	var h ckEncoder
+	var flags uint64
+	if hasForces {
+		flags |= ckFlagForces
+	}
+	if hasDensity {
+		flags |= ckFlagDensity
+	}
+	h.uvarint(flags)
+	h.f64(ck.CellL)
+	h.f64(ck.DtFs)
+	h.f64(ck.Energy)
+	h.uvarint(uint64(ck.Step))
+	h.uvarint(uint64(n))
+	h.uvarint(uint64(ndom))
+	h.uvarint(uint64(ck.GridN))
+	h.uvarint(uint64(ck.SCFIterations))
+	h.uvarint(uint64(len(ck.Energies)))
+	for _, v := range ck.Energies {
+		h.f64(v)
+	}
+	h.uvarint(uint64(len(ck.Temperatures)))
+	for _, v := range ck.Temperatures {
+		h.f64(v)
+	}
+	h.uvarint(uint64(len(ck.Symbols)))
+	for _, s := range ck.Symbols {
+		h.uvarint(uint64(len(s)))
+		h.buf = append(h.buf, s...)
+	}
+
+	payloads := make([][]byte, 0, ndom+2)
+	preamble := append([]byte(checkpointMagic), 0, 0, 0, 0)
+	binary.LittleEndian.PutUint32(preamble[8:], CheckpointVersion)
+	payloads = append(payloads, append(preamble, section(h.buf)...))
+
+	for d := 0; d < ndom; d++ {
+		var e ckEncoder
+		e.uvarint(uint64(len(members[d])))
+		for _, i := range members[d] {
+			e.uvarint(uint64(i))
+			e.buf = append(e.buf, ck.Spec[i])
+			e.vec(ck.Pos[i])
+			e.vec(ck.Vel[i])
+			if hasForces {
+				e.vec(ck.Force[i])
+			}
+		}
+		payloads = append(payloads, section(e.buf))
+	}
+
+	var density []byte
+	if hasDensity {
+		var err error
+		density, err = CompressField(ck.Rho, ck.GridN)
+		if err != nil {
+			return nil, err
+		}
+	}
+	last := section(density)
+	crc := crc32.NewIEEE()
+	for _, p := range payloads {
+		crc.Write(p)
+	}
+	crc.Write(last)
+	last = binary.LittleEndian.AppendUint32(last, crc.Sum32())
+	payloads = append(payloads, last)
+	return payloads, nil
+}
+
+// WriteCheckpoint serializes ck and writes it crash-safely: the rank
+// payloads are aggregated through a CollectiveWriter into path+".tmp",
+// fsynced, and atomically renamed over path, so a crash mid-write never
+// leaves a truncated checkpoint under the final name. It returns the
+// file size in bytes.
+func WriteCheckpoint(path string, ck *Checkpoint, opts CheckpointWriteOptions) (int64, error) {
+	sp := phCheckpointWrite.Start()
+	n, err := writeCheckpoint(path, ck, opts)
+	sp.StopBytes(n)
+	return n, err
+}
+
+func writeCheckpoint(path string, ck *Checkpoint, opts CheckpointWriteOptions) (int64, error) {
+	payloads, err := ck.encode(opts.DomainsPerAxis)
+	if err != nil {
+		return 0, err
+	}
+	groupSize := opts.GroupSize
+	if groupSize == 0 {
+		groupSize = 192
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, fmt.Errorf("qio: checkpoint: %w", err)
+	}
+	cw, err := NewCollectiveWriter(f, groupSize)
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	n, err := cw.WriteAll(payloads)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return n, fmt.Errorf("qio: checkpoint write %s: %w", path, err)
+	}
+	// Durability of the rename itself: fsync the directory (best effort;
+	// not all platforms support syncing directories).
+	if dir, derr := os.Open(filepath.Dir(path)); derr == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	return n, nil
+}
+
+type ckDecoder struct{ buf []byte }
+
+func (d *ckDecoder) uvarint() (uint64, error) {
+	v, k := binary.Uvarint(d.buf)
+	if k <= 0 {
+		return 0, fmt.Errorf("qio: checkpoint: truncated varint")
+	}
+	d.buf = d.buf[k:]
+	return v, nil
+}
+
+func (d *ckDecoder) f64() (float64, error) {
+	if len(d.buf) < 8 {
+		return 0, fmt.Errorf("qio: checkpoint: truncated float")
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf))
+	d.buf = d.buf[8:]
+	return v, nil
+}
+
+func (d *ckDecoder) vec() (geom.Vec3, error) {
+	x, err := d.f64()
+	if err != nil {
+		return geom.Vec3{}, err
+	}
+	y, err := d.f64()
+	if err != nil {
+		return geom.Vec3{}, err
+	}
+	z, err := d.f64()
+	if err != nil {
+		return geom.Vec3{}, err
+	}
+	return geom.Vec3{X: x, Y: y, Z: z}, nil
+}
+
+// count reads a uvarint and bounds-checks it as an element count whose
+// encoding must fit in the remaining buffer (at least min bytes each).
+func (d *ckDecoder) count(min int, what string) (int, error) {
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if min < 1 {
+		min = 1
+	}
+	if v > uint64(len(d.buf)/min) {
+		return 0, fmt.Errorf("qio: checkpoint: %s count %d exceeds file size", what, v)
+	}
+	return int(v), nil
+}
+
+// sectionBody reads one length-framed section.
+func (d *ckDecoder) sectionBody() (*ckDecoder, error) {
+	l, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if l > uint64(len(d.buf)) {
+		return nil, fmt.Errorf("qio: checkpoint: section length %d exceeds remaining %d bytes", l, len(d.buf))
+	}
+	body := &ckDecoder{buf: d.buf[:l]}
+	d.buf = d.buf[l:]
+	return body, nil
+}
+
+// ReadCheckpoint reads and validates a checkpoint file: magic, version,
+// CRC, and every section bound are checked before state is returned, so
+// truncated or corrupted files yield a descriptive error rather than a
+// panic or silently wrong state.
+func ReadCheckpoint(path string) (*Checkpoint, error) {
+	sp := phCheckpointRead.Start()
+	raw, err := os.ReadFile(path)
+	sp.StopBytes(int64(len(raw)))
+	if err != nil {
+		return nil, fmt.Errorf("qio: checkpoint: %w", err)
+	}
+	return DecodeCheckpoint(raw)
+}
+
+// DecodeCheckpoint parses checkpoint bytes (see ReadCheckpoint).
+func DecodeCheckpoint(raw []byte) (*Checkpoint, error) {
+	if len(raw) < len(checkpointMagic)+4+4 {
+		return nil, fmt.Errorf("qio: checkpoint: file too short (%d bytes)", len(raw))
+	}
+	if string(raw[:len(checkpointMagic)]) != checkpointMagic {
+		return nil, fmt.Errorf("qio: checkpoint: bad magic (not a checkpoint file)")
+	}
+	version := binary.LittleEndian.Uint32(raw[len(checkpointMagic):])
+	if version == 0 || version > CheckpointVersion {
+		return nil, fmt.Errorf("qio: checkpoint: unsupported format version %d (this build reads 1..%d)",
+			version, CheckpointVersion)
+	}
+	body, trailer := raw[:len(raw)-4], raw[len(raw)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(trailer) {
+		return nil, fmt.Errorf("qio: checkpoint: CRC mismatch (truncated or corrupted file)")
+	}
+	d := &ckDecoder{buf: body[len(checkpointMagic)+4:]}
+
+	h, err := d.sectionBody()
+	if err != nil {
+		return nil, err
+	}
+	ck := &Checkpoint{}
+	flags, err := h.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if ck.CellL, err = h.f64(); err != nil {
+		return nil, err
+	}
+	if ck.DtFs, err = h.f64(); err != nil {
+		return nil, err
+	}
+	if ck.Energy, err = h.f64(); err != nil {
+		return nil, err
+	}
+	step, err := h.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	ck.Step = int(step)
+	natoms64, err := h.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	// Atoms live in later sections; bound the count by the whole file
+	// (each record needs ≥ 50 bytes) so a corrupt header cannot force a
+	// huge allocation.
+	if natoms64 > uint64(len(raw)/50) {
+		return nil, fmt.Errorf("qio: checkpoint: atom count %d exceeds file size", natoms64)
+	}
+	natoms := int(natoms64)
+	ndom64, err := h.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	ndom := int(ndom64)
+	gridN, err := h.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	ck.GridN = int(gridN)
+	scf, err := h.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	ck.SCFIterations = int(scf)
+	ne, err := h.count(8, "energy")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < ne; i++ {
+		v, err := h.f64()
+		if err != nil {
+			return nil, err
+		}
+		ck.Energies = append(ck.Energies, v)
+	}
+	nt, err := h.count(8, "temperature")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nt; i++ {
+		v, err := h.f64()
+		if err != nil {
+			return nil, err
+		}
+		ck.Temperatures = append(ck.Temperatures, v)
+	}
+	nspec, err := h.count(1, "species")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nspec; i++ {
+		l, err := h.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if l > uint64(len(h.buf)) {
+			return nil, fmt.Errorf("qio: checkpoint: truncated species table")
+		}
+		ck.Symbols = append(ck.Symbols, string(h.buf[:l]))
+		h.buf = h.buf[l:]
+	}
+
+	hasForces := flags&ckFlagForces != 0
+	ck.Spec = make([]uint8, natoms)
+	ck.Pos = make([]geom.Vec3, natoms)
+	ck.Vel = make([]geom.Vec3, natoms)
+	if hasForces {
+		ck.Force = make([]geom.Vec3, natoms)
+	}
+	seen := 0
+	for dom := 0; dom < ndom; dom++ {
+		s, err := d.sectionBody()
+		if err != nil {
+			return nil, fmt.Errorf("qio: checkpoint: atom section %d: %w", dom, err)
+		}
+		cnt, err := s.count(11, "domain atom")
+		if err != nil {
+			return nil, err
+		}
+		for a := 0; a < cnt; a++ {
+			idx64, err := s.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			i := int(idx64)
+			if i >= natoms {
+				return nil, fmt.Errorf("qio: checkpoint: atom index %d out of range [0,%d)", i, natoms)
+			}
+			if len(s.buf) < 1 {
+				return nil, fmt.Errorf("qio: checkpoint: truncated atom record")
+			}
+			spec := s.buf[0]
+			s.buf = s.buf[1:]
+			if int(spec) >= len(ck.Symbols) {
+				return nil, fmt.Errorf("qio: checkpoint: atom %d species id %d out of range", i, spec)
+			}
+			ck.Spec[i] = spec
+			if ck.Pos[i], err = s.vec(); err != nil {
+				return nil, err
+			}
+			if ck.Vel[i], err = s.vec(); err != nil {
+				return nil, err
+			}
+			if hasForces {
+				if ck.Force[i], err = s.vec(); err != nil {
+					return nil, err
+				}
+			}
+			seen++
+		}
+	}
+	if seen != natoms {
+		return nil, fmt.Errorf("qio: checkpoint: atom sections hold %d atoms, header says %d", seen, natoms)
+	}
+
+	ds, err := d.sectionBody()
+	if err != nil {
+		return nil, fmt.Errorf("qio: checkpoint: density section: %w", err)
+	}
+	if flags&ckFlagDensity != 0 {
+		if ck.GridN <= 0 {
+			return nil, fmt.Errorf("qio: checkpoint: density flag set with grid size %d", ck.GridN)
+		}
+		if ck.Rho, err = DecompressField(ds.buf, ck.GridN); err != nil {
+			return nil, err
+		}
+	} else {
+		ck.GridN = 0
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("qio: checkpoint: %d trailing bytes", len(d.buf))
+	}
+	return ck, nil
+}

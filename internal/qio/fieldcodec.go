@@ -1,0 +1,99 @@
+package qio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Lossless scalar-field codec along the 3-D Hilbert curve. Checkpoint
+// density grids are smooth, so consecutive points along the curve carry
+// nearly equal float64 values: XOR-ing each value's bits with its
+// predecessor clears the sign, exponent, and leading mantissa bits, and
+// varint-encoding the deltas stores only the surviving low bits. The
+// scheme is exact (bit-for-bit) — a checkpoint must restore the SCF warm
+// start without perturbation — unlike the quantizing atomic-coordinate
+// codec in compress.go, which shares the same curve.
+
+// orderCache memoizes the Hilbert traversal order per grid edge length.
+var orderCache sync.Map // int -> []int32
+
+// hilbertGridOrder returns the linear indices of an n³ grid (z fastest,
+// as in grid.Grid) sorted by distance along the Hilbert curve of the
+// smallest enclosing 2^bits cube. n need not be a power of two.
+func hilbertGridOrder(n int) []int32 {
+	if v, ok := orderCache.Load(n); ok {
+		return v.([]int32)
+	}
+	bits := uint(1)
+	for 1<<bits < n {
+		bits++
+	}
+	type point struct {
+		d   uint64
+		idx int32
+	}
+	pts := make([]point, 0, n*n*n)
+	for ix := 0; ix < n; ix++ {
+		for iy := 0; iy < n; iy++ {
+			for iz := 0; iz < n; iz++ {
+				pts = append(pts, point{
+					d:   hilbertIndex(bits, uint32(ix), uint32(iy), uint32(iz)),
+					idx: int32((ix*n+iy)*n + iz),
+				})
+			}
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].d < pts[j].d })
+	order := make([]int32, len(pts))
+	for i, p := range pts {
+		order[i] = p.idx
+	}
+	orderCache.Store(n, order)
+	return order
+}
+
+// CompressField encodes the n³ scalar field losslessly: values are
+// visited in Hilbert order and the XOR delta of consecutive float64 bit
+// patterns is varint-encoded.
+func CompressField(data []float64, n int) ([]byte, error) {
+	if n < 1 || n*n*n != len(data) {
+		return nil, fmt.Errorf("qio: field length %d is not %d³", len(data), n)
+	}
+	order := hilbertGridOrder(n)
+	buf := make([]byte, 0, len(data)*6)
+	tmp := make([]byte, binary.MaxVarintLen64)
+	var prev uint64
+	for _, idx := range order {
+		cur := math.Float64bits(data[idx])
+		k := binary.PutUvarint(tmp, cur^prev)
+		buf = append(buf, tmp[:k]...)
+		prev = cur
+	}
+	return buf, nil
+}
+
+// DecompressField inverts CompressField for an n³ field.
+func DecompressField(buf []byte, n int) ([]float64, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("qio: invalid field edge %d", n)
+	}
+	order := hilbertGridOrder(n)
+	data := make([]float64, n*n*n)
+	var prev uint64
+	for _, idx := range order {
+		delta, k := binary.Uvarint(buf)
+		if k <= 0 {
+			return nil, fmt.Errorf("qio: truncated field data at point %d of %d", idx, n*n*n)
+		}
+		buf = buf[k:]
+		prev ^= delta
+		data[idx] = math.Float64frombits(prev)
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("qio: %d trailing bytes after field data", len(buf))
+	}
+	return data, nil
+}

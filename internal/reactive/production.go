@@ -5,7 +5,9 @@ import (
 	"math/rand"
 
 	"ldcdft/internal/atoms"
+	"ldcdft/internal/geom"
 	"ldcdft/internal/md"
+	"ldcdft/internal/qio"
 	"ldcdft/internal/units"
 )
 
@@ -37,11 +39,23 @@ type ProductionResult struct {
 // ProductionConfig controls a production run.
 type ProductionConfig struct {
 	TempK           float64
-	Steps           int
+	Steps           int     // total trajectory length, including resumed-over steps
 	SampleEvery     int     // census sampling stride; default 50
 	DtFs            float64 // default: the paper's 0.242 fs
 	ThermostatTauFs float64 // default 24 fs
 	Seed            int64
+
+	// CheckpointEvery writes a restartable checkpoint to CheckpointPath
+	// after every N completed steps (0 = never), through the collective
+	// I/O path with the group size CheckpointGroupSize (0 = 192).
+	CheckpointEvery     int
+	CheckpointPath      string
+	CheckpointGroupSize int
+	// Resume continues a trajectory from a previously read checkpoint:
+	// sys must be the checkpoint's restored system; velocity
+	// initialization is skipped and the integrator is re-primed with the
+	// checkpointed forces. Production rates cover the resumed segment.
+	Resume *qio.Checkpoint
 }
 
 // RunProduction equilibrates velocities at TempK and integrates the
@@ -57,11 +71,22 @@ func RunProduction(sys *atoms.System, cfg ProductionConfig) (*ProductionResult, 
 	if cfg.ThermostatTauFs == 0 {
 		cfg.ThermostatTauFs = 24
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 17))
-	sys.InitVelocities(cfg.TempK, rng)
 	field := NewField()
 	in := md.NewIntegrator(field, cfg.DtFs)
 	in.Thermostat = &md.Berendsen{TargetK: cfg.TempK, TauAU: cfg.ThermostatTauFs * units.AtomicTimePerFs}
+	startStep := 0
+	if cfg.Resume != nil {
+		startStep = cfg.Resume.Step
+		if cfg.Resume.Force != nil {
+			in.Prime(cfg.Resume.Energy, cfg.Resume.Force)
+		}
+	} else {
+		rng := rand.New(rand.NewSource(cfg.Seed + 17))
+		sys.InitVelocities(cfg.TempK, rng)
+	}
+	if startStep > cfg.Steps {
+		return nil, fmt.Errorf("reactive: checkpoint at step %d is past the %d-step trajectory", startStep, cfg.Steps)
+	}
 
 	res := &ProductionResult{
 		TempK:        cfg.TempK,
@@ -70,16 +95,32 @@ func RunProduction(sys *atoms.System, cfg ProductionConfig) (*ProductionResult, 
 		PairCount:    sys.CountSpecies(atoms.Lithium),
 	}
 	start := TakeCensus(sys)
-	res.Samples = append(res.Samples, ProductionSample{Step: 0, Census: start, TempK: sys.Temperature()})
+	res.Samples = append(res.Samples, ProductionSample{Step: startStep, Census: start, TempK: sys.Temperature()})
 	dtFs := in.DtAU * units.FsPerAtomicTime
-	err := in.Run(sys, cfg.Steps, func(step int) error {
-		if (step+1)%cfg.SampleEvery == 0 {
+	err := in.Run(sys, cfg.Steps-startStep, func(step int) error {
+		abs := startStep + step + 1
+		if abs%cfg.SampleEvery == 0 {
 			res.Samples = append(res.Samples, ProductionSample{
-				Step:   step + 1,
-				TimeFs: float64(step+1) * dtFs,
+				Step:   abs,
+				TimeFs: float64(abs) * dtFs,
 				Census: TakeCensus(sys),
 				TempK:  sys.Temperature(),
 			})
+		}
+		if cfg.CheckpointEvery > 0 && cfg.CheckpointPath != "" && abs%cfg.CheckpointEvery == 0 {
+			ck, err := qio.CheckpointFromSystem(sys)
+			if err != nil {
+				return err
+			}
+			ck.Step = abs
+			ck.DtFs = dtFs
+			ck.Energy = in.PotentialEnergy()
+			ck.Force = append([]geom.Vec3(nil), in.Forces()...)
+			if _, err := qio.WriteCheckpoint(cfg.CheckpointPath, ck, qio.CheckpointWriteOptions{
+				GroupSize: cfg.CheckpointGroupSize,
+			}); err != nil {
+				return err
+			}
 		}
 		return nil
 	})
@@ -92,7 +133,9 @@ func RunProduction(sys *atoms.System, cfg ProductionConfig) (*ProductionResult, 
 	if produced < 0 {
 		produced = 0
 	}
-	seconds := res.TimeFs * 1e-15
+	// The start census is taken at startStep, so rates cover only the
+	// segment this call actually integrated.
+	seconds := float64(cfg.Steps-startStep) * dtFs * 1e-15
 	if seconds > 0 && res.PairCount > 0 {
 		res.RatePerPairPerSec = float64(produced) / seconds / float64(res.PairCount)
 	}

@@ -134,7 +134,7 @@ func (f *DFTForceField) Compute(sys *System) (float64, []Vec3, error) {
 	if err != nil {
 		return 0, nil, fmt.Errorf("qmd: SCF: %w", err)
 	}
-	f.prevRho = eng.Rho
+	f.prevRho = eng.ExportDensity()
 	f.LastSCFIters = res.Iterations
 	f.LastEngine = eng
 	forces, err := eng.Forces()
@@ -143,6 +143,15 @@ func (f *DFTForceField) Compute(sys *System) (float64, []Vec3, error) {
 	}
 	return res.Energy, forces, nil
 }
+
+// Density returns the converged density of the most recent force
+// evaluation (nil before the first) — the SCF warm start a checkpoint
+// must capture.
+func (f *DFTForceField) Density() *grid.Field { return f.prevRho }
+
+// SetDensity installs a warm-start density for the next force
+// evaluation, e.g. the density grid restored from a checkpoint.
+func (f *DFTForceField) SetDensity(rho *grid.Field) { f.prevRho = rho }
 
 // QMDResult summarizes a quantum MD trajectory.
 type QMDResult struct {
@@ -156,19 +165,5 @@ type QMDResult struct {
 // RunQMD runs an LDC-DFT quantum MD trajectory: the Fig. 2 SCF loop
 // inside a velocity-Verlet loop.
 func RunQMD(sys *System, cfg LDCConfig, steps int, dtFs float64) (*QMDResult, error) {
-	ff := &DFTForceField{Cfg: cfg}
-	in := md.NewIntegrator(ff, dtFs)
-	out := &QMDResult{}
-	work := sys.Clone()
-	for i := 0; i < steps; i++ {
-		if err := in.Step(work); err != nil {
-			return out, fmt.Errorf("qmd: MD step %d: %w", i+1, err)
-		}
-		out.Steps++
-		out.SCFIterations += ff.LastSCFIters
-		out.Energies = append(out.Energies, in.PotentialEnergy())
-		out.Temperatures = append(out.Temperatures, work.Temperature())
-	}
-	out.FinalSystem = work
-	return out, nil
+	return RunQMDOpts(sys, cfg, steps, dtFs, QMDOptions{})
 }

@@ -7,6 +7,9 @@ import (
 )
 
 func TestPublicAPISolve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full SCF solve is minutes under -race; covered by the full test run")
+	}
 	sys := BuildSiC(1)
 	eng, err := NewLDCEngine(sys, LDCConfig{
 		GridN: 24, DomainsPerAxis: 2, BufN: 3, Ecut: 4.0,
