@@ -43,5 +43,5 @@ bench-smoke: build
 # bench-fft runs the FFT/Hamiltonian hot-path benchmarks with allocation
 # reporting and records the machine-readable results in BENCH_fft.json.
 bench-fft:
-	$(GO) test -run '^$$' -bench 'Benchmark(3DBatch|Plan3|Forward|ApplyAll$$|ApplyAllBLAS)' -benchtime 2s ./internal/fft/ ./internal/pw/ | $(GO) run ./cmd/benchjson > BENCH_fft.json
+	$(GO) test -run '^$$' -bench 'Benchmark(3DBatch|R3Batch|Plan3|RPlan3|Forward|HartreeFFT|ApplyAll$$|ApplyAllBLAS)' -benchtime 2s ./internal/fft/ ./internal/pw/ | $(GO) run ./cmd/benchjson > BENCH_fft.json
 	@cat BENCH_fft.json

@@ -93,3 +93,53 @@ func BenchmarkPlan3Pow2_32(b *testing.B) {
 		p.Inverse(x)
 	}
 }
+
+func benchRealVec(n int) []float64 {
+	rng := rand.New(rand.NewSource(2))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+// BenchmarkRPlan3 measures a real-field forward+inverse round trip on
+// the same 32³ shape as BenchmarkPlan3Pow2_32 — the headline r2c-vs-
+// complex comparison for density/potential grids.
+func BenchmarkRPlan3(b *testing.B) {
+	p := NewRPlan3(32, 32, 32)
+	x := benchRealVec(p.Size())
+	half := make([]complex128, p.HSize())
+	p.Forward(x, half) // warm the scratch pools
+	p.Inverse(half, x)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Forward(x, half)
+		p.Inverse(half, x)
+	}
+	b.StopTimer()
+	gflop := float64(2*p.Flops()) * float64(b.N) / 1e9
+	b.ReportMetric(gflop/b.Elapsed().Seconds(), "GFLOP/s")
+}
+
+// BenchmarkR3Batch is Benchmark3DBatch's real-field counterpart: 16
+// real grids of the reference-run shape per call, allocation-free in
+// steady state.
+func BenchmarkR3Batch(b *testing.B) {
+	const nb = 16
+	p := CachedR3(16, 16, 16)
+	x := benchRealVec(nb * p.Size())
+	half := make([]complex128, nb*p.HSize())
+	p.ForwardBatch(x, half, nb) // warm the arena pool
+	p.InverseBatch(half, x, nb)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ForwardBatch(x, half, nb)
+		p.InverseBatch(half, x, nb)
+	}
+	b.StopTimer()
+	gflop := float64(2*nb*p.Flops()) * float64(b.N) / 1e9
+	b.ReportMetric(gflop/b.Elapsed().Seconds(), "GFLOP/s")
+}

@@ -10,6 +10,9 @@ import "sync"
 var (
 	cache3Mu sync.RWMutex
 	cache3   = map[[3]int]*Plan3{}
+
+	cacheR3Mu sync.RWMutex
+	cacheR3   = map[[3]int]*RPlan3{}
 )
 
 // Cached3 returns the shared plan for shape (nx, ny, nz), building it on
@@ -30,6 +33,29 @@ func Cached3(nx, ny, nz int) *Plan3 {
 	if p = cache3[key]; p == nil {
 		p = NewPlan3(nx, ny, nz)
 		cache3[key] = p
+	}
+	return p
+}
+
+// CachedR3 returns the shared real-transform plan for shape
+// (nx, ny, nz), building it on first use. Like Cached3, the returned
+// plan is safe for concurrent use by any number of goroutines; its
+// half-grid complex plan comes from the Cached3 cache, so the y/x
+// twiddle tables and tile arenas are shared with any complex plans of
+// the same half shape.
+func CachedR3(nx, ny, nz int) *RPlan3 {
+	key := [3]int{nx, ny, nz}
+	cacheR3Mu.RLock()
+	p := cacheR3[key]
+	cacheR3Mu.RUnlock()
+	if p != nil {
+		return p
+	}
+	cacheR3Mu.Lock()
+	defer cacheR3Mu.Unlock()
+	if p = cacheR3[key]; p == nil {
+		p = NewRPlan3(nx, ny, nz)
+		cacheR3[key] = p
 	}
 	return p
 }

@@ -102,9 +102,9 @@ func (p *Plan3) apply(x []complex128, inverse bool) {
 		panic("fft: data length does not match 3-D plan")
 	}
 	defer ph3D.Start().StopFlops(p.flops)
-	runUnits(p, x, jobZ, inverse, p.Nx*p.Ny)
-	runUnits(p, x, jobY, inverse, p.Nx*zBlocks(p.Nz))
-	runUnits(p, x, jobX, inverse, (p.Ny*p.Nz+tileB-1)/tileB)
+	runUnits(fftJob{p: p, x: x, kind: jobZ, inverse: inverse}, p.Nx*p.Ny)
+	runUnits(fftJob{p: p, x: x, kind: jobY, inverse: inverse}, p.Nx*zBlocks(p.Nz))
+	runUnits(fftJob{p: p, x: x, kind: jobX, inverse: inverse}, (p.Ny*p.Nz+tileB-1)/tileB)
 	perf.Global.AddVector(p.flops)
 }
 
@@ -116,7 +116,7 @@ func (p *Plan3) applyBatch(x []complex128, nb int, inverse bool) {
 		return
 	}
 	defer ph3D.Start().StopFlops(p.flops * int64(nb))
-	runUnits(p, x, jobGrids, inverse, nb)
+	runUnits(fftJob{p: p, x: x, kind: jobGrids, inverse: inverse}, nb)
 	perf.Global.AddVector(p.flops * int64(nb))
 }
 
@@ -217,10 +217,14 @@ func (p *Plan3) putArena(a *arena3) { p.arenas.Put(a) }
 
 // fftJob is one contiguous unit range of a pass, executable by any pool
 // worker (or inline on the caller). It is a plain value — no closures —
-// so submitting a job performs no allocation.
+// so submitting a job performs no allocation. Complex passes set p; the
+// real-transform passes (jobRZ, jobRGrids) set rp and carry the real
+// side of the data in rx.
 type fftJob struct {
 	p       *Plan3
+	rp      *RPlan3
 	x       []complex128
+	rx      []float64
 	kind    int8
 	inverse bool
 	lo, hi  int
@@ -232,9 +236,32 @@ const (
 	jobY
 	jobX
 	jobGrids
+	jobRZ     // r2c/c2r z-lines between rx and the packed half grid x
+	jobRGrids // whole real↔half-spectrum grids of a batch
 )
 
 func (j fftJob) run() {
+	switch j.kind {
+	case jobRZ:
+		s := j.rp.getScratch()
+		if j.inverse {
+			j.rp.c2rLines(j.x, j.rx, j.lo, j.hi, *s)
+		} else {
+			j.rp.r2cLines(j.rx, j.x, j.lo, j.hi, *s)
+		}
+		j.rp.putScratch(s)
+		return
+	case jobRGrids:
+		s := j.rp.getScratch()
+		a := j.rp.half.getArena()
+		rsize, hsize := j.rp.Size(), j.rp.HSize()
+		for g := j.lo; g < j.hi; g++ {
+			j.rp.applySerial(j.rx[g*rsize:(g+1)*rsize], j.x[g*hsize:(g+1)*hsize], j.inverse, *s, a)
+		}
+		j.rp.half.putArena(a)
+		j.rp.putScratch(s)
+		return
+	}
 	a := j.p.getArena()
 	switch j.kind {
 	case jobZ:
@@ -276,13 +303,14 @@ func startPool() {
 	}
 }
 
-// runUnits executes units [0, n) of the given pass. The range is split
-// into one chunk per worker; chunks that cannot be handed to the pool
-// immediately run inline on the caller (and the first chunk always
-// does), so progress never depends on pool availability and a saturated
-// pool degrades to serial execution instead of queueing. Workers never
-// submit jobs, so the pool cannot deadlock.
-func runUnits(p *Plan3, x []complex128, kind int8, inverse bool, n int) {
+// runUnits executes units [0, n) of the pass described by the prototype
+// job (whose lo/hi are ignored). The range is split into one chunk per
+// worker; chunks that cannot be handed to the pool immediately run
+// inline on the caller (and the first chunk always does), so progress
+// never depends on pool availability and a saturated pool degrades to
+// serial execution instead of queueing. Workers never submit jobs, so
+// the pool cannot deadlock.
+func runUnits(proto fftJob, n int) {
 	if n <= 0 {
 		return
 	}
@@ -291,14 +319,16 @@ func runUnits(p *Plan3, x []complex128, kind int8, inverse bool, n int) {
 		workers = n
 	}
 	if workers <= 1 {
-		fftJob{p: p, x: x, kind: kind, inverse: inverse, lo: 0, hi: n}.run()
+		proto.lo, proto.hi = 0, n
+		proto.run()
 		return
 	}
 	poolOnce.Do(startPool)
 	wg := wgPool.Get().(*sync.WaitGroup)
 	chunk := (n + workers - 1) / workers
 	for lo := chunk; lo < n; lo += chunk {
-		j := fftJob{p: p, x: x, kind: kind, inverse: inverse, lo: lo, hi: min(lo+chunk, n), wg: wg}
+		j := proto
+		j.lo, j.hi, j.wg = lo, min(lo+chunk, n), wg
 		wg.Add(1)
 		select {
 		case jobCh <- j:
@@ -307,7 +337,8 @@ func runUnits(p *Plan3, x []complex128, kind int8, inverse bool, n int) {
 			wg.Done()
 		}
 	}
-	fftJob{p: p, x: x, kind: kind, inverse: inverse, lo: 0, hi: chunk}.run()
+	proto.lo, proto.hi = 0, chunk
+	proto.run()
 	wg.Wait()
 	wgPool.Put(wg)
 }

@@ -1,0 +1,194 @@
+package fft
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"ldcdft/internal/perf"
+)
+
+// RPlan computes real-to-complex forward and complex-to-real inverse
+// DFTs of a fixed length. The real field's Hermitian symmetry
+// X[n−k] = conj(X[k]) means only the first n/2+1 spectrum coefficients
+// are independent; RPlan stores exactly those ("packed half spectrum")
+// and does roughly half the arithmetic of a complex Plan.
+//
+// Even lengths use the classic half-size trick: the n real samples are
+// packed into an n/2-point complex vector z[j] = x[2j] + i·x[2j+1], one
+// complex FFT of length n/2 is taken, and the even/odd sub-spectra are
+// untangled with one twiddle pass. Odd lengths fall back to the full
+// complex plan (dense or Bluestein under the hood) and keep only the
+// independent half of the output.
+//
+// Conventions match Plan: Forward is unnormalized,
+// X[k] = Σ_j x[j] e^{−2πijk/n} for k = 0..n/2; Inverse includes the 1/n
+// factor and reconstructs the real signal from the packed half spectrum.
+// All tables are read-only after NewRPlan, so one RPlan serves any
+// number of concurrent transforms (per-call scratch is pooled or
+// caller-owned).
+type RPlan struct {
+	n    int
+	h    int   // n/2 (floor)
+	even bool  // half-size trick applies
+	half *Plan // even lengths: complex plan of length n/2
+	full *Plan // odd lengths: complex plan of length n
+	// w[k] = e^{−2πik/n} for k = 0..h: the untangling twiddles (even only).
+	w       []complex128
+	scratch sync.Pool // *[]complex128 of scratchLen for Forward/Inverse
+}
+
+// NewRPlan prepares a real transform of length n (n ≥ 1).
+func NewRPlan(n int) *RPlan {
+	if n < 1 {
+		panic(fmt.Sprintf("fft: invalid length %d", n))
+	}
+	p := &RPlan{n: n, h: n / 2, even: n%2 == 0}
+	if p.even {
+		p.half = NewPlan(n / 2)
+		p.w = make([]complex128, p.h+1)
+		for k := 0; k <= p.h; k++ {
+			p.w[k] = twiddle(k, n)
+		}
+	} else {
+		p.full = NewPlan(n)
+	}
+	p.scratch.New = func() any {
+		s := make([]complex128, p.scratchLen())
+		return &s
+	}
+	return p
+}
+
+// twiddle returns e^{−2πik/n}.
+func twiddle(k, n int) complex128 {
+	ang := -2 * math.Pi * float64(k) / float64(n)
+	return complex(math.Cos(ang), math.Sin(ang))
+}
+
+// Len returns the real transform length n.
+func (p *RPlan) Len() int { return p.n }
+
+// HLen returns the packed half-spectrum length n/2+1.
+func (p *RPlan) HLen() int { return p.n/2 + 1 }
+
+// scratchLen is the complex scratch required by forwardS/inverseS: the
+// half-length packed vector plus the sub-plan's own scratch (even), or
+// the widened full-length vector plus the full plan's scratch (odd).
+func (p *RPlan) scratchLen() int {
+	if p.even {
+		return p.h + p.half.scratchLen()
+	}
+	return p.n + p.full.scratchLen()
+}
+
+// rflops models the operation count of one real transform: the
+// half-size complex FFT plus the O(n) pack/untangle pass for even
+// lengths — about half of the complex count flops(n) — or the full
+// complex FFT plus the widening pass for the odd fallback. Perf
+// accounting uses this so the -perf report shows real transforms at
+// their true (halved) cost instead of inheriting the complex model.
+func rflops(n int) int64 {
+	if n <= 1 {
+		return 0
+	}
+	if n%2 == 0 {
+		return flops(n/2) + 6*int64(n)
+	}
+	return flops(n) + 2*int64(n)
+}
+
+// Forward computes the packed half spectrum of the real vector src into
+// dst (len n/2+1): X[k] = Σ_j src[j] e^{−2πijk/n}, k = 0..n/2.
+func (p *RPlan) Forward(src []float64, dst []complex128) {
+	if len(src) != p.n || len(dst) != p.HLen() {
+		panic(fmt.Sprintf("fft: r2c lengths %d→%d != plan %d→%d", len(src), len(dst), p.n, p.HLen()))
+	}
+	s := p.scratch.Get().(*[]complex128)
+	p.forwardS(src, dst, *s)
+	p.scratch.Put(s)
+	perf.Global.AddVector(rflops(p.n))
+}
+
+// Inverse reconstructs the real vector dst (len n) from the packed half
+// spectrum src (len n/2+1), including the 1/n normalization. src is
+// treated as Hermitian: src[0] and (even n) src[n/2] must be real.
+// src is preserved.
+func (p *RPlan) Inverse(src []complex128, dst []float64) {
+	if len(src) != p.HLen() || len(dst) != p.n {
+		panic(fmt.Sprintf("fft: c2r lengths %d→%d != plan %d→%d", len(src), len(dst), p.HLen(), p.n))
+	}
+	s := p.scratch.Get().(*[]complex128)
+	p.inverseS(src, dst, *s)
+	p.scratch.Put(s)
+	perf.Global.AddVector(rflops(p.n))
+}
+
+// forwardS is Forward with caller-owned scratch of ≥ scratchLen
+// elements. No perf counters are touched; batch drivers attribute
+// modelled FLOPs once per pass.
+func (p *RPlan) forwardS(src []float64, dst []complex128, scratch []complex128) {
+	if !p.even {
+		z := scratch[:p.n]
+		for j, v := range src {
+			z[j] = complex(v, 0)
+		}
+		p.full.forwardS(z, scratch[p.n:])
+		copy(dst, z[:p.h+1])
+		return
+	}
+	h := p.h
+	z := scratch[:h]
+	for j := 0; j < h; j++ {
+		z[j] = complex(src[2*j], src[2*j+1])
+	}
+	p.half.forwardS(z, scratch[h:])
+	// Untangle: with E/O the DFTs of the even/odd samples,
+	// z^[k] = E[k] + i·O[k] and X[k] = E[k] + w[k]·O[k], where
+	// E[k] = (z^[k]+conj(z^[h−k]))/2 and O[k] = −i(z^[k]−conj(z^[h−k]))/2.
+	z0 := z[0]
+	dst[0] = complex(real(z0)+imag(z0), 0)
+	dst[h] = complex(real(z0)-imag(z0), 0)
+	for k := 1; k < h; k++ {
+		zk := z[k]
+		zc := conj(z[h-k])
+		e := (zk + zc) * complex(0.5, 0)
+		o := (zk - zc) * complex(0, -0.5)
+		dst[k] = e + p.w[k]*o
+	}
+}
+
+// inverseS is Inverse with caller-owned scratch of ≥ scratchLen
+// elements.
+func (p *RPlan) inverseS(src []complex128, dst []float64, scratch []complex128) {
+	if !p.even {
+		z := scratch[:p.n]
+		copy(z, src)
+		for k := 1; k <= p.h; k++ {
+			z[p.n-k] = conj(src[k])
+		}
+		p.full.inverseS(z, scratch[p.n:])
+		for j := range dst {
+			dst[j] = real(z[j])
+		}
+		return
+	}
+	h := p.h
+	z := scratch[:h]
+	// Re-tangle: E[k] = (X[k]+conj(X[h−k]))/2,
+	// O[k] = conj(w[k])·(X[k]−conj(X[h−k]))/2, z^[k] = E[k] + i·O[k].
+	// The half-plan inverse's built-in 1/h factor is exactly the 1/n
+	// normalization of the interleaved samples.
+	for k := 0; k < h; k++ {
+		xk := src[k]
+		xc := conj(src[h-k])
+		e := (xk + xc) * complex(0.5, 0)
+		o := conj(p.w[k]) * (xk - xc) * complex(0.5, 0)
+		z[k] = e + complex(0, 1)*o
+	}
+	p.half.inverseS(z, scratch[h:])
+	for j := 0; j < h; j++ {
+		dst[2*j] = real(z[j])
+		dst[2*j+1] = imag(z[j])
+	}
+}

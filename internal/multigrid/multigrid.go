@@ -219,7 +219,10 @@ func (s *Solver) vcycle(l int) {
 }
 
 // smooth performs one red-black Gauss–Seidel sweep of the 7-point
-// periodic Laplacian: (Σ neighbours − 6v)/h² = f.
+// periodic Laplacian: (Σ neighbours − 6v)/h² = f. The z-periodic wrap
+// only matters on the first and last points of a pencil, so those are
+// peeled off and the interior runs with branch-free iz±1 neighbours —
+// same update order, bitwise-identical results.
 func smooth(lev *level) {
 	n, h2 := lev.n, lev.h2
 	v, f := lev.v, lev.f
@@ -232,13 +235,25 @@ func smooth(lev *level) {
 				ym := wrapMul(iy-1, n) * n
 				yp := wrapMul(iy+1, n) * n
 				y0 := iy * n
-				iz0 := (parity + ix + iy) & 1
-				for iz := iz0; iz < n; iz += 2 {
-					zm := wrapMul(iz-1, n)
-					zp := wrapMul(iz+1, n)
+				iz := (parity + ix + iy) & 1
+				if iz == 0 {
+					zm, zp := n-1, 1%n
+					sum := v[xm+y0] + v[xp+y0] +
+						v[x0+ym] + v[x0+yp] +
+						v[x0+y0+zm] + v[x0+y0+zp]
+					v[x0+y0] = (sum - h2*f[x0+y0]) / 6
+					iz = 2
+				}
+				for ; iz < n-1; iz += 2 {
 					sum := v[xm+y0+iz] + v[xp+y0+iz] +
 						v[x0+ym+iz] + v[x0+yp+iz] +
-						v[x0+y0+zm] + v[x0+y0+zp]
+						v[x0+y0+iz-1] + v[x0+y0+iz+1]
+					v[x0+y0+iz] = (sum - h2*f[x0+y0+iz]) / 6
+				}
+				if iz == n-1 {
+					sum := v[xm+y0+iz] + v[xp+y0+iz] +
+						v[x0+ym+iz] + v[x0+yp+iz] +
+						v[x0+y0+iz-1] + v[x0+y0]
 					v[x0+y0+iz] = (sum - h2*f[x0+y0+iz]) / 6
 				}
 			}
@@ -256,7 +271,9 @@ func wrapMul(i, n int) int {
 	return i
 }
 
-// computeResidual fills lev.r = f − ∇²v.
+// computeResidual fills lev.r = f − ∇²v. As in smooth, the z-wrapping
+// first and last points of each pencil are peeled so the interior loop
+// reads its z-neighbours branch-free at iz±1.
 func computeResidual(lev *level) {
 	n, h2 := lev.n, lev.h2
 	v, f, r := lev.v, lev.f, lev.r
@@ -268,12 +285,23 @@ func computeResidual(lev *level) {
 			ym := wrapMul(iy-1, n) * n
 			yp := wrapMul(iy+1, n) * n
 			y0 := iy * n
-			for iz := 0; iz < n; iz++ {
-				zm := wrapMul(iz-1, n)
-				zp := wrapMul(iz+1, n)
+			{
+				zm, zp := n-1, 1%n
+				lap := (v[xm+y0] + v[xp+y0] +
+					v[x0+ym] + v[x0+yp] +
+					v[x0+y0+zm] + v[x0+y0+zp] - 6*v[x0+y0]) / h2
+				r[x0+y0] = f[x0+y0] - lap
+			}
+			for iz := 1; iz < n-1; iz++ {
 				lap := (v[xm+y0+iz] + v[xp+y0+iz] +
 					v[x0+ym+iz] + v[x0+yp+iz] +
-					v[x0+y0+zm] + v[x0+y0+zp] - 6*v[x0+y0+iz]) / h2
+					v[x0+y0+iz-1] + v[x0+y0+iz+1] - 6*v[x0+y0+iz]) / h2
+				r[x0+y0+iz] = f[x0+y0+iz] - lap
+			}
+			if iz := n - 1; iz > 0 {
+				lap := (v[xm+y0+iz] + v[xp+y0+iz] +
+					v[x0+ym+iz] + v[x0+yp+iz] +
+					v[x0+y0+iz-1] + v[x0+y0] - 6*v[x0+y0+iz]) / h2
 				r[x0+y0+iz] = f[x0+y0+iz] - lap
 			}
 		}

@@ -30,16 +30,20 @@ type Basis struct {
 	G2   []float64   // |G|²
 	FFTi []int       // FFT-grid linear index of each G
 
-	plan *fft.Plan3
+	plan  *fft.Plan3
+	rplan *fft.RPlan3
 
 	// Folded reciprocal-space lookups shared by every grid-space kernel
 	// (kinetic via G2, Hartree 4π/G², pseudopotential form factors,
 	// forces): axisG[i] = fold(i)·2π/L per FFT index, g2Grid = |G|² per
-	// FFT grid point.
+	// FFT grid point, g2Half the same restricted to the Hermitian-packed
+	// half spectrum (iz ≤ N/2) the real-field transforms produce.
 	axisG  []float64
 	g2Grid []float64
+	g2Half []float64
 
 	gridPool  sync.Pool // *[]complex128, one N³ grid each
+	halfPool  sync.Pool // *[]complex128, one N²·(N/2+1) half-spectrum grid each
 	batchPool sync.Pool // *[]complex128, grown to the largest batch seen
 }
 
@@ -50,7 +54,12 @@ func NewBasis(g grid.Grid, ecut float64) (*Basis, error) {
 	if ecut <= 0 {
 		return nil, fmt.Errorf("pw: non-positive cutoff %g", ecut)
 	}
-	b := &Basis{Grid: g, Ecut: ecut, plan: fft.Cached3(g.N, g.N, g.N)}
+	b := &Basis{
+		Grid:  g,
+		Ecut:  ecut,
+		plan:  fft.Cached3(g.N, g.N, g.N),
+		rplan: fft.CachedR3(g.N, g.N, g.N),
+	}
 	unit := 2 * math.Pi / g.L
 	gmax := math.Sqrt(2 * ecut)
 	mmax := int(gmax/unit) + 1
@@ -64,7 +73,9 @@ func NewBasis(g grid.Grid, ecut float64) (*Basis, error) {
 		b.axisG[i] = float64(fold(i, n)) * unit
 	}
 	b.g2Grid = make([]float64, g.Size())
-	idx := 0
+	hz := n/2 + 1
+	b.g2Half = make([]float64, n*n*hz)
+	idx, hidx := 0, 0
 	for ix := 0; ix < n; ix++ {
 		gx := b.axisG[ix]
 		for iy := 0; iy < n; iy++ {
@@ -74,6 +85,12 @@ func NewBasis(g grid.Grid, ecut float64) (*Basis, error) {
 				gz := b.axisG[iz]
 				b.g2Grid[idx] = gxy + gz*gz
 				idx++
+				// Packed half spectrum: iz ≤ N/2 only (axisG is
+				// non-negative there, so the values coincide).
+				if iz < hz {
+					b.g2Half[hidx] = gxy + gz*gz
+					hidx++
+				}
 			}
 		}
 	}
@@ -95,6 +112,10 @@ func NewBasis(g grid.Grid, ecut float64) (*Basis, error) {
 	}
 	b.gridPool.New = func() any {
 		s := make([]complex128, g.Size())
+		return &s
+	}
+	b.halfPool.New = func() any {
+		s := make([]complex128, b.rplan.HSize())
 		return &s
 	}
 	return b, nil
@@ -124,6 +145,54 @@ func (b *Basis) AxisG() []float64 { return b.axisG }
 // Hartree kernel, and the pseudopotential builders. Callers must not
 // modify it.
 func (b *Basis) G2Grid() []float64 { return b.g2Grid }
+
+// G2Half returns |G|² at every point of the Hermitian-packed half
+// spectrum (grid order, iz = 0..N/2) — the lookup the real-field
+// kernels (Hartree, local pseudopotential, forces, density guess) use
+// alongside the r2c transforms. Callers must not modify it.
+func (b *Basis) G2Half() []float64 { return b.g2Half }
+
+// RPlan exposes the real-field 3-D FFT plan.
+func (b *Basis) RPlan() *fft.RPlan3 { return b.rplan }
+
+// HalfLen returns the packed half-spectrum length N²·(N/2+1).
+func (b *Basis) HalfLen() int { return b.rplan.HSize() }
+
+// HalfWeight returns the Hermitian multiplicity of packed half-spectrum
+// z-index iz: 2 when the conjugate partner at N−iz lies outside the
+// packed range, 1 when the plane is self-conjugate (iz = 0 and, for
+// even N, iz = N/2). Reciprocal-space sums over the full grid become
+// weighted sums over the half grid.
+func (b *Basis) HalfWeight(iz int) float64 {
+	if iz == 0 || 2*iz == b.Grid.N {
+		return 1
+	}
+	return 2
+}
+
+// GetHalfGrid returns a pooled N²·(N/2+1) complex half-spectrum buffer.
+// Contents are unspecified; release with PutHalfGrid when done.
+func (b *Basis) GetHalfGrid() []complex128 {
+	return *b.halfPool.Get().(*[]complex128)
+}
+
+// PutHalfGrid returns a buffer obtained from GetHalfGrid to the pool.
+func (b *Basis) PutHalfGrid(buf []complex128) {
+	b.halfPool.Put(&buf)
+}
+
+// RealForward transforms a real field on the FFT grid to its packed
+// half spectrum (unnormalized, matching the complex Forward
+// convention). src is preserved.
+func (b *Basis) RealForward(src []float64, dst []complex128) {
+	b.rplan.Forward(src, dst)
+}
+
+// RealInverse reconstructs a real field from its packed half spectrum,
+// including the 1/N³ normalization. src is clobbered.
+func (b *Basis) RealInverse(src []complex128, dst []float64) {
+	b.rplan.Inverse(src, dst)
+}
 
 // GetGrid returns a pooled N³ complex work buffer. Contents are
 // unspecified; release with PutGrid when done.

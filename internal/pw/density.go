@@ -9,6 +9,12 @@ import "ldcdft/internal/linalg"
 // fft worker pool fans out per band) and the accumulation is
 // partitioned over disjoint grid ranges, so no per-worker partial grids
 // are allocated or merged.
+//
+// Unlike the density/potential fields themselves, the ψ̃_n(G) columns
+// carry no Hermitian symmetry (the orbitals are genuinely complex), so
+// these transforms cannot use the r2c fast path that HartreeFFT,
+// BuildLocalPseudo, LocalForces, and InitialDensity ride — they stay on
+// the complex batched plan.
 func Density(b *Basis, psi *linalg.CMatrix, occ []float64) []float64 {
 	size := b.Grid.Size()
 	rho := make([]float64, size)

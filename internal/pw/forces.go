@@ -51,32 +51,54 @@ func IonIon(cell geom.Cell, species []*atoms.Species, positions []geom.Vec3) (fl
 // LocalForces returns the Hellmann–Feynman forces from the local
 // pseudopotential: F_I = Σ_G iG v_I(G) e^{−iG·R_I} ρ*_G with
 // ρ_G = (1/Ω)∫ρ e^{−iG·r} dr, summed over the full FFT reciprocal grid.
+//
+// ρ is real, so ρ̂_{−m} = conj(ρ̂_m) exactly and the sum runs over the
+// Hermitian-packed half spectrum from the r2c transform — halving both
+// the FFT and the per-atom trig. Bins whose conjugate partner is stored
+// too (the self-conjugate iz = 0 and, for even N, iz = N/2 planes) keep
+// weight 1; for the rest the partner's contribution equals this bin's,
+// so weight 2 — except on the x/y Nyquist planes, where the folded
+// frequency keeps its sign under m → −m and the partner term must be
+// added explicitly (same mirror-frequency rule as BuildLocalPseudo) to
+// stay the exact gradient of the assembled energy.
 func LocalForces(b *Basis, rho []float64, species []*atoms.Species, positions []geom.Vec3) []geom.Vec3 {
 	n := b.Grid.N
+	hz := n/2 + 1
 	size := b.Grid.Size()
-	work := b.GetGrid()
-	defer b.PutGrid(work)
-	for i, v := range rho {
-		work[i] = complex(v, 0)
-	}
-	b.plan.Forward(work)
+	work := b.GetHalfGrid()
+	defer b.PutHalfGrid(work)
+	b.rplan.Forward(rho, work)
 	// work[m] = Σ_j ρ_j e^{−iG·r_j} = N³ ρ_G Ω/(h³N³)… combine: ρ_G =
 	// (h³/Ω)·work[m] = work[m]/N³.
 	invN3 := 1 / float64(size)
 	ax := b.axisG
-	g2g := b.g2Grid
+	g2h := b.g2Half
 	forces := make([]geom.Vec3, len(positions))
 	for ix := 0; ix < n; ix++ {
 		gx := ax[ix]
+		mx := gx
+		if 2*ix == n {
+			mx = -gx
+		}
 		for iy := 0; iy < n; iy++ {
 			gy := ax[iy]
-			for iz := 0; iz < n; iz++ {
+			my := gy
+			if 2*iy == n {
+				my = -gy
+			}
+			for iz := 0; iz < hz; iz++ {
 				gz := ax[iz]
-				g2 := g2g[(ix*n+iy)*n+iz]
+				g2 := g2h[(ix*n+iy)*hz+iz]
 				if g2 == 0 {
 					continue
 				}
-				rhoG := work[(ix*n+iy)*n+iz] * complex(invN3, 0)
+				selfConj := iz == 0 || 2*iz == n
+				mirror := !selfConj && (mx != gx || my != gy)
+				weight := invN3
+				if !selfConj && !mirror {
+					weight = 2 * invN3
+				}
+				rhoG := work[(ix*n+iy)*hz+iz] * complex(weight, 0)
 				cr := real(rhoG)
 				ci := imag(rhoG)
 				for ai, sp := range species {
@@ -93,7 +115,17 @@ func LocalForces(b *Basis, rho []float64, species []*atoms.Species, positions []
 					// (i)(cp + i s)(cr − i ci) = i[(cp·cr + s·ci) + i(s·cr − cp·ci)]
 					// real part = −(s·cr − cp·ci) = cp·ci − s·cr.
 					re := (cp*ci - s*cr) * v
-					forces[ai] = forces[ai].Add(geom.Vec3{X: gx * re, Y: gy * re, Z: gz * re})
+					f := geom.Vec3{X: gx * re, Y: gy * re, Z: gz * re}
+					if mirror {
+						// Missing partner at G' = (−mx, −my, −gz) with
+						// ρ*_{G'} = ρ_G: real part of iG'v e^{−iG'·R}ρ_G.
+						ph2 := mx*r.X + my*r.Y + gz*r.Z
+						cp2 := math.Cos(ph2)
+						s2 := math.Sin(ph2)
+						re2 := (cp2*ci + s2*cr) * v
+						f = f.Add(geom.Vec3{X: mx * re2, Y: my * re2, Z: gz * re2})
+					}
+					forces[ai] = forces[ai].Add(f)
 				}
 			}
 		}

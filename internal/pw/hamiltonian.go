@@ -182,20 +182,32 @@ func (h *Hamiltonian) KineticExpectation(psi []complex128) float64 {
 // BuildLocalPseudo fills vloc (len N³) with the ionic local potential
 // V_ps(r) = (1/Ω) Σ_I Σ_G v_I(G) e^{iG·(r−R_I)} evaluated over the full
 // FFT grid, and returns it. Positions are relative to the cell origin.
+//
+// V_ps is real and V_I(−G) = conj(V_I(G)), so only the packed half
+// spectrum (iz ≤ N/2) is assembled — halving the structure-factor trig,
+// the dominant cost — and one real-plan inverse reconstructs the grid.
+//
+// One wrinkle: at a Nyquist index (axis index N/2, even N) the folded
+// frequency keeps its sign under m → −m, so the raw assembly is not
+// Hermitian there. The previous full-grid path implicitly symmetrized
+// those bins by dropping the imaginary part after the complex inverse;
+// the half-spectrum assembly reproduces that exactly by averaging each
+// Nyquist-plane bin with its conjugate mirror (the same G with the
+// Nyquist components sign-flipped).
 func BuildLocalPseudo(b *Basis, species []*atoms.Species, positions []geom.Vec3) []float64 {
 	n := b.Grid.N
+	hz := n/2 + 1
 	size := b.Grid.Size()
-	// Accumulate V(G) on the full FFT grid in reciprocal space, then one
-	// inverse FFT. Group atoms by species so the form factor is computed
-	// once per (species, G); the folded frequencies and |G|² come from
-	// the basis lookups shared with the kinetic and Hartree kernels.
-	vg := b.GetGrid()
-	defer b.PutGrid(vg)
+	vg := b.GetHalfGrid()
+	defer b.PutHalfGrid(vg)
 	for i := range vg {
 		vg[i] = 0
 	}
 	ax := b.axisG
-	g2g := b.g2Grid
+	g2h := b.g2Half
+	// Group atoms by species so the form factor is computed once per
+	// (species, G); the folded frequencies and |G|² come from the basis
+	// lookups shared with the kinetic and Hartree kernels.
 	bySpecies := map[*atoms.Species][]geom.Vec3{}
 	for ai, sp := range species {
 		bySpecies[sp] = append(bySpecies[sp], positions[ai])
@@ -205,21 +217,43 @@ func BuildLocalPseudo(b *Basis, species []*atoms.Species, positions []geom.Vec3)
 		idx := 0
 		for ix := 0; ix < n; ix++ {
 			gx := ax[ix]
+			mx := gx
+			if 2*ix == n {
+				mx = -gx
+			}
 			for iy := 0; iy < n; iy++ {
 				gy := ax[iy]
-				for iz := 0; iz < n; iz++ {
+				my := gy
+				if 2*iy == n {
+					my = -gy
+				}
+				for iz := 0; iz < hz; iz++ {
 					gz := ax[iz]
-					ff := pseudo.LocalG(sp, g2g[idx]) * invVol
+					mz := gz
+					if 2*iz == n {
+						mz = -gz
+					}
+					ff := pseudo.LocalG(sp, g2h[idx]) * invVol
 					if ff == 0 {
 						idx++
 						continue
 					}
-					// Structure factor Σ_I e^{−iG·R_I}.
+					// Structure factor Σ_I e^{−iG·R_I}, Hermitian-symmetrized
+					// on the Nyquist planes.
 					var sre, sim float64
-					for _, r := range pos {
-						ph := -(gx*r.X + gy*r.Y + gz*r.Z)
-						sre += math.Cos(ph)
-						sim += math.Sin(ph)
+					if mx == gx && my == gy && mz == gz {
+						for _, r := range pos {
+							ph := -(gx*r.X + gy*r.Y + gz*r.Z)
+							sre += math.Cos(ph)
+							sim += math.Sin(ph)
+						}
+					} else {
+						for _, r := range pos {
+							ph := -(gx*r.X + gy*r.Y + gz*r.Z)
+							ph2 := -(mx*r.X + my*r.Y + mz*r.Z)
+							sre += (math.Cos(ph) + math.Cos(ph2)) / 2
+							sim += (math.Sin(ph) + math.Sin(ph2)) / 2
+						}
 					}
 					vg[idx] += complex(ff*sre, ff*sim)
 					idx++
@@ -228,11 +262,11 @@ func BuildLocalPseudo(b *Basis, species []*atoms.Species, positions []geom.Vec3)
 		}
 	}
 	// V(r_j) = Σ_m V_m e^{+2πi mj/N} = N³ · Inverse.
-	b.plan.Inverse(vg)
-	scale := float64(size)
 	out := make([]float64, size)
-	for i, v := range vg {
-		out[i] = real(v) * scale
+	b.rplan.Inverse(vg, out)
+	scale := float64(size)
+	for i := range out {
+		out[i] *= scale
 	}
 	return out
 }
@@ -240,25 +274,23 @@ func BuildLocalPseudo(b *Basis, species []*atoms.Species, positions []geom.Vec3)
 // HartreeFFT solves ∇²V_H = −4πρ on the cell's FFT grid and returns
 // V_H(r). This is the "locally fast" Poisson path used inside domains;
 // the global problem uses internal/multigrid instead (GSLF hybrid, §3.2).
+// The density is real, so the transforms run on the r2c fast path: the
+// 4π/G² kernel is applied on the Hermitian-packed half spectrum and the
+// real-plan inverse writes V_H(r) directly — about half the FFT
+// arithmetic of the previous widen-to-complex round trip.
 func HartreeFFT(b *Basis, rho []float64) []float64 {
 	size := b.Grid.Size()
-	work := b.GetGrid()
-	defer b.PutGrid(work)
-	for i, v := range rho {
-		work[i] = complex(v, 0)
-	}
-	b.plan.Forward(work)
-	for i, g2 := range b.g2Grid {
+	work := b.GetHalfGrid()
+	defer b.PutHalfGrid(work)
+	b.rplan.Forward(rho, work)
+	for i, g2 := range b.g2Half {
 		if g2 == 0 {
 			work[i] = 0 // compensating background removes G=0
 			continue
 		}
 		work[i] *= complex(4*math.Pi/g2, 0)
 	}
-	b.plan.Inverse(work)
 	out := make([]float64, size)
-	for i, v := range work {
-		out[i] = real(v)
-	}
+	b.rplan.Inverse(work, out)
 	return out
 }

@@ -136,41 +136,66 @@ func (e *Engine) BandKineticNonlocal(occ []float64) float64 {
 }
 
 // InitialDensity returns the superposition of atomic Gaussian densities
-// normalized to the total valence charge — the SCF starting guess.
+// normalized to the total valence charge — the SCF starting guess. The
+// guess ρ(G) has ρ(−G) = conj(ρ(G)), so only the Hermitian-packed half
+// spectrum is assembled (halving the per-atom trig) and one r2c-plan
+// inverse reconstructs the real grid.
 func (e *Engine) InitialDensity() []float64 {
 	b := e.Basis
 	size := b.Grid.Size()
-	work := b.GetGrid()
-	defer b.PutGrid(work)
+	work := b.GetHalfGrid()
+	defer b.PutHalfGrid(work)
 	n := b.Grid.N
+	hz := n/2 + 1
 	ax := b.AxisG()
-	g2g := b.G2Grid()
+	g2h := b.G2Half()
 	invVol := 1 / b.Volume()
 	for ix := 0; ix < n; ix++ {
 		gx := ax[ix]
+		mx := gx
+		if 2*ix == n {
+			mx = -gx
+		}
 		for iy := 0; iy < n; iy++ {
 			gy := ax[iy]
-			for iz := 0; iz < n; iz++ {
+			my := gy
+			if 2*iy == n {
+				my = -gy
+			}
+			for iz := 0; iz < hz; iz++ {
 				gz := ax[iz]
-				g2 := g2g[(ix*n+iy)*n+iz]
+				mz := gz
+				if 2*iz == n {
+					mz = -gz
+				}
+				g2 := g2h[(ix*n+iy)*hz+iz]
 				var sre, sim float64
 				for ai, sp := range e.Species {
 					sigma := 1.5 * sp.PsSigma
 					amp := sp.Valence * expNeg(g2*sigma*sigma/2) * invVol
 					r := e.Positions[ai]
 					ph := -(gx*r.X + gy*r.Y + gz*r.Z)
-					sre += amp * cosf(ph)
-					sim += amp * sinf(ph)
+					if mx == gx && my == gy && mz == gz {
+						sre += amp * cosf(ph)
+						sim += amp * sinf(ph)
+						continue
+					}
+					// Nyquist-plane bin: Hermitian-symmetrize against the
+					// mirror frequency, matching the real part the previous
+					// full-grid complex inverse kept.
+					ph2 := -(mx*r.X + my*r.Y + mz*r.Z)
+					sre += amp * (cosf(ph) + cosf(ph2)) / 2
+					sim += amp * (sinf(ph) + sinf(ph2)) / 2
 				}
-				work[(ix*n+iy)*n+iz] = complex(sre, sim)
+				work[(ix*n+iy)*hz+iz] = complex(sre, sim)
 			}
 		}
 	}
-	b.Plan().Inverse(work)
-	scale := float64(size)
 	rho := make([]float64, size)
-	for i, v := range work {
-		rho[i] = real(v) * scale
+	b.RealInverse(work, rho)
+	scale := float64(size)
+	for i := range rho {
+		rho[i] *= scale
 		if rho[i] < 0 {
 			rho[i] = 0
 		}
