@@ -1,0 +1,196 @@
+package qmd
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ldcdft/internal/atoms"
+	"ldcdft/internal/geom"
+)
+
+// tinyH2 builds the smallest meaningful QMD workload: two hydrogen atoms
+// in an 8-Bohr cell on a 12³ grid with a single DC domain. One MD step
+// solves in a few hundred milliseconds.
+func tinyH2(seed int64) (*System, LDCConfig) {
+	h := atoms.Hydrogen
+	sys := &atoms.System{Cell: geom.Cell{L: 8}, Atoms: []atoms.Atom{
+		{Species: h, Position: geom.Vec3{X: 3.3, Y: 4, Z: 4}},
+		{Species: h, Position: geom.Vec3{X: 4.7, Y: 4, Z: 4}},
+	}}
+	sys.InitVelocities(300, rand.New(rand.NewSource(seed)))
+	cfg := LDCConfig{
+		GridN: 12, DomainsPerAxis: 1, BufN: 0, Ecut: 4.0,
+		KT: 0.05, MixAlpha: 0.3, Anderson: true, MaxSCF: 80, EigenIters: 4, Seed: 1,
+		EnergyTol: 1e-7, DensityTol: 1e-6,
+	}
+	return sys, cfg
+}
+
+// TestCancelBetweenStepsWritesFinalCheckpoint cancels a trajectory from
+// the OnStep hook after two completed steps: the run must stop, write a
+// final checkpoint of step 2, and the checkpoint must resume to the same
+// final state as the uninterrupted trajectory (bitwise).
+func TestCancelBetweenStepsWritesFinalCheckpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("QMD is expensive under -race")
+	}
+	sys, cfg := tinyH2(2)
+	full, err := RunQMD(sys, cfg, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "ck.qmd")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := QMDOptions{
+		CheckpointPath: path,
+		Ctx:            ctx,
+		OnStep: func(step int, e, tK float64) {
+			if step == 2 {
+				cancel()
+			}
+		},
+	}
+	res, err := RunQMDOpts(sys, cfg, 4, 0, opts)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if res == nil || res.Steps != 2 || len(res.Energies) != 2 {
+		t.Fatalf("cancelled run: %+v", res)
+	}
+	if res.FinalSystem == nil {
+		t.Fatal("cancelled run lost FinalSystem")
+	}
+
+	resumed, err := ResumeQMD(path, cfg, 4, 0, QMDOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Steps != 4 {
+		t.Fatalf("resumed to %d steps, want 4", resumed.Steps)
+	}
+	for i := range full.Energies {
+		if resumed.Energies[i] != full.Energies[i] {
+			t.Fatalf("energy %d differs after cancel+resume: %.15g vs %.15g",
+				i, resumed.Energies[i], full.Energies[i])
+		}
+	}
+	for i := range full.FinalSystem.Atoms {
+		a, b := full.FinalSystem.Atoms[i], resumed.FinalSystem.Atoms[i]
+		if a.Position != b.Position || a.Velocity != b.Velocity {
+			t.Fatalf("atom %d state not bitwise equal after cancel+resume", i)
+		}
+	}
+}
+
+// trippingCtx is a context whose Err starts returning Canceled after a
+// fixed number of Err calls once armed — a deterministic way to land a
+// cancellation inside the SCF loop of a specific MD step.
+type trippingCtx struct {
+	context.Context
+	armed atomic.Bool
+	calls atomic.Int32
+	after int32
+	done  chan struct{}
+	once  sync.Once
+}
+
+func newTrippingCtx(after int32) *trippingCtx {
+	return &trippingCtx{Context: context.Background(), after: after, done: make(chan struct{})}
+}
+
+func (c *trippingCtx) Err() error {
+	if c.armed.Load() && c.calls.Add(1) > c.after {
+		c.once.Do(func() { close(c.done) })
+		return context.Canceled
+	}
+	return nil
+}
+
+func (c *trippingCtx) Done() <-chan struct{} { return c.done }
+
+// TestCancelMidSCFCheckpointsLastCompletedStep arms a cancellation that
+// fires inside step 2's SCF loop: the trajectory must abort without
+// tearing, and the final checkpoint must hold the state of step 1 — the
+// last completed step — not the half-advanced step 2.
+func TestCancelMidSCFCheckpointsLastCompletedStep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("QMD is expensive under -race")
+	}
+	sys, cfg := tinyH2(3)
+	ref, err := RunQMD(sys, cfg, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "ck.qmd")
+	ctx := newTrippingCtx(2)
+	opts := QMDOptions{
+		CheckpointPath: path,
+		Ctx:            ctx,
+		OnStep: func(step int, e, tK float64) {
+			if step == 1 {
+				ctx.armed.Store(true)
+			}
+		},
+	}
+	res, err := RunQMDOpts(sys, cfg, 4, 0, opts)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if res.Steps != 1 {
+		t.Fatalf("cancelled run completed %d steps, want 1", res.Steps)
+	}
+
+	resumed, err := ResumeQMD(path, cfg, 1, 0, QMDOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Steps != 1 {
+		t.Fatalf("checkpoint at step %d, want 1", resumed.Steps)
+	}
+	for i := range ref.FinalSystem.Atoms {
+		a, b := ref.FinalSystem.Atoms[i], resumed.FinalSystem.Atoms[i]
+		if a.Position != b.Position || a.Velocity != b.Velocity {
+			t.Fatalf("checkpoint after mid-SCF cancel holds torn state at atom %d", i)
+		}
+	}
+	if resumed.Energies[0] != ref.Energies[0] {
+		t.Fatalf("checkpointed energy %.15g differs from reference %.15g",
+			resumed.Energies[0], ref.Energies[0])
+	}
+}
+
+// TestOnStepObservesEveryStep verifies the OnStep hook sees every completed
+// step in order with the recorded energies.
+func TestOnStepObservesEveryStep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("QMD is expensive under -race")
+	}
+	sys, cfg := tinyH2(4)
+	var steps []int
+	var energies []float64
+	res, err := RunQMDOpts(sys, cfg, 2, 0, QMDOptions{
+		OnStep: func(step int, e, tK float64) {
+			steps = append(steps, step)
+			energies = append(energies, e)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 2 || steps[0] != 1 || steps[1] != 2 {
+		t.Fatalf("OnStep saw steps %v", steps)
+	}
+	for i := range energies {
+		if energies[i] != res.Energies[i] {
+			t.Fatalf("OnStep energy %d = %g, recorded %g", i, energies[i], res.Energies[i])
+		}
+	}
+}

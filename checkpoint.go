@@ -1,6 +1,7 @@
 package qmd
 
 import (
+	"context"
 	"fmt"
 
 	"ldcdft/internal/geom"
@@ -11,8 +12,9 @@ import (
 )
 
 // QMDOptions carries the trajectory options beyond the physics
-// configuration — currently the checkpoint/restart policy. The zero
-// value disables checkpointing.
+// configuration — the checkpoint/restart policy, cooperative
+// cancellation, and per-step observation. The zero value disables all
+// three.
 type QMDOptions struct {
 	// CheckpointEvery writes a checkpoint after every N completed MD
 	// steps (0 = never). Combined with CheckpointPath.
@@ -23,6 +25,23 @@ type QMDOptions struct {
 	// CheckpointGroupSize is the collective-I/O aggregation group size
 	// (0 = 192, the paper's §4.2 optimum).
 	CheckpointGroupSize int
+
+	// Ctx, when non-nil, cancels the trajectory cooperatively: between
+	// MD steps and between SCF iterations inside a step. A cancelled
+	// trajectory returns the partial QMDResult together with an error
+	// wrapping the context's cancellation cause, and — when
+	// CheckpointPath is set and at least one step has completed — first
+	// writes a final checkpoint of the last *completed* step, so the
+	// trajectory resumes bit-for-bit. A cancellation that lands inside
+	// an SCF solve never checkpoints the torn mid-step state.
+	Ctx context.Context
+
+	// OnStep, when non-nil, is invoked after every completed MD step
+	// with the 1-based absolute step index, the potential energy (Ha)
+	// and the instantaneous temperature (K) — the hook job-serving
+	// layers use for live progress streams. It runs synchronously on
+	// the trajectory goroutine.
+	OnStep func(step int, energyHa, tempK float64)
 }
 
 // RunQMDOpts is RunQMD with trajectory options: every CheckpointEvery
@@ -78,14 +97,72 @@ func ResumeQMD(path string, cfg LDCConfig, steps int, dtFs float64, opts QMDOpti
 	return runTrajectory(work, cfg, steps, ck.Step, in, ff, out, opts)
 }
 
+// trajSnapshot is the restartable state of the last completed MD step —
+// the only state a cancellation-triggered checkpoint may capture (the
+// live system is torn when a cancellation lands mid-step).
+type trajSnapshot struct {
+	sys     *System
+	energy  float64
+	forces  []geom.Vec3
+	rho     *grid.Field
+	dtFs    float64
+	domains int
+}
+
+// capture copies the post-step trajectory state. The density pointer is
+// retained without copying: DFTForceField replaces (never mutates) its
+// warm-start density on each force evaluation.
+func capture(work *System, in *md.Integrator, ff *DFTForceField) *trajSnapshot {
+	return &trajSnapshot{
+		sys:     work.Clone(),
+		energy:  in.PotentialEnergy(),
+		forces:  append([]geom.Vec3(nil), in.Forces()...),
+		rho:     ff.Density(),
+		dtFs:    in.DtAU * units.FsPerAtomicTime,
+		domains: ff.Cfg.DomainsPerAxis,
+	}
+}
+
 // runTrajectory advances work from startStep to steps total MD steps,
 // accumulating into out. On a mid-trajectory error the partial result —
 // including the last good FinalSystem — is returned alongside the error,
-// so callers (and checkpoints) keep the state up to the failure.
+// so callers (and checkpoints) keep the state up to the failure. When
+// opts.Ctx is cancelled the trajectory stops between steps (or between
+// SCF iterations mid-step), writes a final checkpoint of the last
+// completed step if checkpointing is configured, and returns an error
+// wrapping the cancellation cause.
 func runTrajectory(work *System, cfg LDCConfig, steps, startStep int, in *md.Integrator,
 	ff *DFTForceField, out *QMDResult, opts QMDOptions) (*QMDResult, error) {
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ff.Ctx = ctx
+	// Snapshots are only needed to back cancellation checkpoints.
+	snapshots := opts.CheckpointPath != "" && ctx.Done() != nil
+	var last *trajSnapshot
+	cancelled := func() (*QMDResult, error) {
+		cause := context.Cause(ctx)
+		if last != nil {
+			out.FinalSystem = last.sys
+			if opts.CheckpointPath != "" {
+				if err := writeQMDCheckpoint(last, out, opts); err != nil {
+					return out, fmt.Errorf("qmd: final checkpoint after cancellation at step %d: %w", out.Steps, err)
+				}
+			}
+		} else {
+			out.FinalSystem = work
+		}
+		return out, fmt.Errorf("qmd: trajectory cancelled after step %d: %w", out.Steps, cause)
+	}
 	for i := startStep; i < steps; i++ {
+		if ctx.Err() != nil {
+			return cancelled()
+		}
 		if err := in.Step(work); err != nil {
+			if ctx.Err() != nil {
+				return cancelled()
+			}
 			out.FinalSystem = work
 			return out, fmt.Errorf("qmd: MD step %d: %w", i+1, err)
 		}
@@ -93,8 +170,18 @@ func runTrajectory(work *System, cfg LDCConfig, steps, startStep int, in *md.Int
 		out.SCFIterations += ff.LastSCFIters
 		out.Energies = append(out.Energies, in.PotentialEnergy())
 		out.Temperatures = append(out.Temperatures, work.Temperature())
+		if opts.OnStep != nil {
+			opts.OnStep(i+1, in.PotentialEnergy(), work.Temperature())
+		}
+		if snapshots {
+			last = capture(work, in, ff)
+		}
 		if opts.CheckpointEvery > 0 && opts.CheckpointPath != "" && (i+1)%opts.CheckpointEvery == 0 {
-			if err := writeQMDCheckpoint(work, in, ff, out, opts); err != nil {
+			snap := last
+			if snap == nil {
+				snap = capture(work, in, ff)
+			}
+			if err := writeQMDCheckpoint(snap, out, opts); err != nil {
 				out.FinalSystem = work
 				return out, fmt.Errorf("qmd: checkpoint at step %d: %w", i+1, err)
 			}
@@ -104,28 +191,27 @@ func runTrajectory(work *System, cfg LDCConfig, steps, startStep int, in *md.Int
 	return out, nil
 }
 
-// writeQMDCheckpoint captures the restartable trajectory state and
-// writes it through the collective checkpoint path.
-func writeQMDCheckpoint(work *System, in *md.Integrator, ff *DFTForceField,
-	out *QMDResult, opts QMDOptions) error {
-	ck, err := qio.CheckpointFromSystem(work)
+// writeQMDCheckpoint writes the captured trajectory state and the
+// accumulated per-step record through the collective checkpoint path.
+func writeQMDCheckpoint(snap *trajSnapshot, out *QMDResult, opts QMDOptions) error {
+	ck, err := qio.CheckpointFromSystem(snap.sys)
 	if err != nil {
 		return err
 	}
 	ck.Step = out.Steps
-	ck.DtFs = in.DtAU * units.FsPerAtomicTime
-	ck.Energy = in.PotentialEnergy()
-	ck.Force = append([]geom.Vec3(nil), in.Forces()...)
+	ck.DtFs = snap.dtFs
+	ck.Energy = snap.energy
+	ck.Force = snap.forces
 	ck.SCFIterations = out.SCFIterations
 	ck.Energies = out.Energies
 	ck.Temperatures = out.Temperatures
-	if rho := ff.Density(); rho != nil {
-		ck.GridN = rho.Grid.N
-		ck.Rho = rho.Data
+	if snap.rho != nil {
+		ck.GridN = snap.rho.Grid.N
+		ck.Rho = snap.rho.Data
 	}
 	_, err = qio.WriteCheckpoint(opts.CheckpointPath, ck, qio.CheckpointWriteOptions{
 		GroupSize:      opts.CheckpointGroupSize,
-		DomainsPerAxis: ff.Cfg.DomainsPerAxis,
+		DomainsPerAxis: snap.domains,
 	})
 	return err
 }

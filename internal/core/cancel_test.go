@@ -1,0 +1,47 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"ldcdft/internal/atoms"
+)
+
+// TestSolveCtxCancelled: a cancelled context aborts the SCF loop before
+// the first iteration, returning the (empty) partial result and an error
+// that unwraps to the cancellation cause.
+func TestSolveCtxCancelled(t *testing.T) {
+	sys := atoms.BuildSiC(1)
+	eng, err := NewEngine(sys, Config{GridN: 16, DomainsPerAxis: 2, BufN: 3, Ecut: 4.0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := eng.SolveCtx(ctx)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if res == nil || res.Iterations != 0 {
+		t.Fatalf("cancelled solve ran %d iterations", res.Iterations)
+	}
+}
+
+// TestSolveCtxCause: a cancellation cause installed via WithCancelCause
+// must surface through the wrapped error (the serving layer uses causes
+// to distinguish client cancellation from daemon shutdown).
+func TestSolveCtxCause(t *testing.T) {
+	sys := atoms.BuildSiC(1)
+	eng, err := NewEngine(sys, Config{GridN: 16, DomainsPerAxis: 2, BufN: 3, Ecut: 4.0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cause := errors.New("shutting down")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+	_, err = eng.SolveCtx(ctx)
+	if err == nil || !errors.Is(err, cause) {
+		t.Fatalf("want cause %v, got %v", cause, err)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -283,10 +284,22 @@ func (e *Engine) assembleEnergy(rho *grid.Field, vh *grid.Field) float64 {
 // Solve iterates SCFStep with density mixing until the energy and
 // density tolerances are met.
 func (e *Engine) Solve() (*SolveResult, error) {
+	return e.SolveCtx(context.Background())
+}
+
+// SolveCtx is Solve with cooperative cancellation: the context is checked
+// between SCF iterations (the natural consistency boundary — a completed
+// iteration leaves the engine's density and diagnostics intact), so a
+// cancelled solve returns promptly with the partial SolveResult and an
+// error wrapping context.Cause(ctx). No SCF iteration is torn in half.
+func (e *Engine) SolveCtx(ctx context.Context) (*SolveResult, error) {
 	out := &SolveResult{}
 	prevE := math.Inf(1)
 	e.mixer.Reset()
 	for iter := 1; iter <= e.Cfg.MaxSCF; iter++ {
+		if err := ctx.Err(); err != nil {
+			return out, fmt.Errorf("core: SCF cancelled after %d iterations: %w", out.Iterations, context.Cause(ctx))
+		}
 		rhoOut, step, err := e.SCFStep()
 		if err != nil {
 			return out, err

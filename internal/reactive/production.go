@@ -1,6 +1,8 @@
 package reactive
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -56,6 +58,12 @@ type ProductionConfig struct {
 	// initialization is skipped and the integrator is re-primed with the
 	// checkpointed forces. Production rates cover the resumed segment.
 	Resume *qio.Checkpoint
+
+	// Ctx, when non-nil, cancels the trajectory between MD steps. A
+	// cancelled run writes a final checkpoint of the last completed step
+	// (when CheckpointPath is set), then returns the partial result with
+	// an error wrapping the context's cancellation cause.
+	Ctx context.Context
 }
 
 // RunProduction equilibrates velocities at TempK and integrates the
@@ -97,8 +105,29 @@ func RunProduction(sys *atoms.System, cfg ProductionConfig) (*ProductionResult, 
 	start := TakeCensus(sys)
 	res.Samples = append(res.Samples, ProductionSample{Step: startStep, Census: start, TempK: sys.Temperature()})
 	dtFs := in.DtAU * units.FsPerAtomicTime
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	writeCk := func(abs int) error {
+		ck, err := qio.CheckpointFromSystem(sys)
+		if err != nil {
+			return err
+		}
+		ck.Step = abs
+		ck.DtFs = dtFs
+		ck.Energy = in.PotentialEnergy()
+		ck.Force = append([]geom.Vec3(nil), in.Forces()...)
+		_, err = qio.WriteCheckpoint(cfg.CheckpointPath, ck, qio.CheckpointWriteOptions{
+			GroupSize: cfg.CheckpointGroupSize,
+		})
+		return err
+	}
+	errCancelled := errors.New("reactive: cancelled")
+	lastStep := startStep
 	err := in.Run(sys, cfg.Steps-startStep, func(step int) error {
 		abs := startStep + step + 1
+		lastStep = abs
 		if abs%cfg.SampleEvery == 0 {
 			res.Samples = append(res.Samples, ProductionSample{
 				Step:   abs,
@@ -108,22 +137,25 @@ func RunProduction(sys *atoms.System, cfg ProductionConfig) (*ProductionResult, 
 			})
 		}
 		if cfg.CheckpointEvery > 0 && cfg.CheckpointPath != "" && abs%cfg.CheckpointEvery == 0 {
-			ck, err := qio.CheckpointFromSystem(sys)
-			if err != nil {
-				return err
-			}
-			ck.Step = abs
-			ck.DtFs = dtFs
-			ck.Energy = in.PotentialEnergy()
-			ck.Force = append([]geom.Vec3(nil), in.Forces()...)
-			if _, err := qio.WriteCheckpoint(cfg.CheckpointPath, ck, qio.CheckpointWriteOptions{
-				GroupSize: cfg.CheckpointGroupSize,
-			}); err != nil {
+			if err := writeCk(abs); err != nil {
 				return err
 			}
 		}
+		if ctx.Err() != nil {
+			return errCancelled
+		}
 		return nil
 	})
+	if errors.Is(err, errCancelled) {
+		// The observe hook runs after a completed step, so the system is
+		// in a consistent post-step state — safe to checkpoint.
+		if cfg.CheckpointPath != "" {
+			if ckErr := writeCk(lastStep); ckErr != nil {
+				return res, fmt.Errorf("reactive: final checkpoint after cancellation at step %d: %w", lastStep, ckErr)
+			}
+		}
+		return res, fmt.Errorf("reactive: trajectory cancelled after step %d: %w", lastStep, context.Cause(ctx))
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -11,6 +11,7 @@
 package qmd
 
 import (
+	"context"
 	"fmt"
 
 	"ldcdft/internal/atoms"
@@ -112,6 +113,11 @@ func BlueGeneQ() *machine.Machine { return machine.BlueGeneQ() }
 type DFTForceField struct {
 	Cfg LDCConfig
 
+	// Ctx, when non-nil, cancels the SCF loop between iterations — a
+	// cancelled force evaluation returns promptly with an error wrapping
+	// the context's cancellation cause (see core.Engine.SolveCtx).
+	Ctx context.Context
+
 	prevRho *grid.Field
 	// LastSCFIters reports the SCF iterations of the latest evaluation.
 	LastSCFIters int
@@ -130,7 +136,11 @@ func (f *DFTForceField) Compute(sys *System) (float64, []Vec3, error) {
 			return 0, nil, err
 		}
 	}
-	res, err := eng.Solve()
+	ctx := f.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res, err := eng.SolveCtx(ctx)
 	if err != nil {
 		return 0, nil, fmt.Errorf("qmd: SCF: %w", err)
 	}
