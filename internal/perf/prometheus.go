@@ -1,0 +1,77 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Prometheus text-format rendering of a registry Report — the exposition
+// backing the serving layer's /metrics endpoint. Each phase row becomes
+// one sample per metric, labelled {phase="<name>"}; samples of a metric
+// are kept consecutive under a single HELP/TYPE header as the format
+// requires. Label values are escaped with %q, which emits exactly the
+// escapes the exposition format mandates (backslash, double quote, \n).
+
+// promMetric describes one exported metric family.
+type promMetric struct {
+	name  string
+	help  string
+	typ   string // "counter" or "gauge"
+	value func(PhaseStats) (float64, bool)
+}
+
+var phaseMetrics = []promMetric{
+	{"qmd_phase_calls_total", "Completed spans per instrumented phase.", "counter",
+		func(s PhaseStats) (float64, bool) { return float64(s.Calls), true }},
+	{"qmd_phase_busy_seconds_total", "Accumulated span time per phase (CPU-seconds-like for concurrent phases).", "counter",
+		func(s PhaseStats) (float64, bool) { return s.Total.Seconds(), true }},
+	{"qmd_phase_max_seconds", "Longest single span per phase since the last reset.", "gauge",
+		func(s PhaseStats) (float64, bool) { return s.Max.Seconds(), true }},
+	{"qmd_phase_flops_total", "Floating-point operations attributed to the phase.", "counter",
+		func(s PhaseStats) (float64, bool) { return float64(s.Flops), s.Flops > 0 }},
+	{"qmd_phase_bytes_total", "I/O bytes attributed to the phase.", "counter",
+		func(s PhaseStats) (float64, bool) { return float64(s.Bytes), s.Bytes > 0 }},
+}
+
+// WritePrometheus renders the live registry in Prometheus text format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return WritePrometheusReport(w, r.Export())
+}
+
+// WritePrometheusReport renders an already-captured Report in Prometheus
+// text format. Split from WritePrometheus so callers (and the golden
+// test) can render a deterministic snapshot.
+func WritePrometheusReport(w io.Writer, rep Report) error {
+	if _, err := fmt.Fprintf(w,
+		"# HELP qmd_perf_wall_seconds Wall-clock since the last registry reset.\n"+
+			"# TYPE qmd_perf_wall_seconds gauge\n"+
+			"qmd_perf_wall_seconds %s\n", promFloat(rep.Wall.Seconds())); err != nil {
+		return err
+	}
+	for _, m := range phaseMetrics {
+		wroteHeader := false
+		for _, s := range rep.Phases {
+			v, ok := m.value(s)
+			if !ok {
+				continue
+			}
+			if !wroteHeader {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ); err != nil {
+					return err
+				}
+				wroteHeader = true
+			}
+			if _, err := fmt.Fprintf(w, "%s{phase=%q} %s\n", m.name, s.Name, promFloat(v)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// promFloat formats a sample value: integers render without a decimal
+// point, everything else with minimal round-trip digits.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

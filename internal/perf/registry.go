@@ -67,7 +67,9 @@ func (r *Registry) Wall() time.Duration {
 	return time.Since(r.epoch)
 }
 
-// PhaseStats is one immutable row of a registry snapshot.
+// PhaseStats is one immutable row of a registry snapshot. The JSON tags
+// are the wire format of both -perf-json reports and the serving layer's
+// job/metrics endpoints.
 type PhaseStats struct {
 	Name  string        `json:"name"`
 	Calls int64         `json:"calls"`
@@ -76,6 +78,9 @@ type PhaseStats struct {
 	Max   time.Duration `json:"max_ns"`
 	Flops int64         `json:"flops"`
 	Bytes int64         `json:"bytes"`
+	// GFlops is the measured FLOP rate (GFlopsPerSec), precomputed so the
+	// serialized row carries it without the consumer re-deriving it.
+	GFlops float64 `json:"gflops_per_sec"`
 }
 
 // GFlopsPerSec returns the measured FLOP rate of the phase, or 0 when no
@@ -93,6 +98,21 @@ func (s PhaseStats) MBPerSec() float64 {
 		return 0
 	}
 	return float64(s.Bytes) / s.Total.Seconds() / 1e6
+}
+
+// Report is a complete structured export of a registry: the wall-clock
+// since the last Reset plus every active phase's stats. It is the single
+// source for all registry renderings — WriteText, WriteJSON (-perf-json
+// and BENCH_*.json tooling), and WritePrometheus (the serving layer's
+// /metrics endpoint).
+type Report struct {
+	Wall   time.Duration `json:"wall_ns"`
+	Phases []PhaseStats  `json:"phases"`
+}
+
+// Export captures the registry as an immutable Report.
+func (r *Registry) Export() Report {
+	return Report{Wall: r.Wall(), Phases: r.Snapshot()}
 }
 
 // Snapshot returns the stats of every phase with at least one completed
@@ -116,6 +136,7 @@ func (r *Registry) Snapshot() []PhaseStats {
 			Bytes: p.Bytes(),
 		}
 		st.Mean = st.Total / time.Duration(calls)
+		st.GFlops = st.GFlopsPerSec()
 		out = append(out, st)
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -38,42 +38,13 @@ func (r *Registry) WriteText(w io.Writer) error {
 	return nil
 }
 
-// jsonReport is the serialized form of a registry snapshot.
-type jsonReport struct {
-	WallNs int64       `json:"wall_ns"`
-	Phases []jsonPhase `json:"phases"`
-}
-
-type jsonPhase struct {
-	Name    string  `json:"name"`
-	Calls   int64   `json:"calls"`
-	TotalNs int64   `json:"total_ns"`
-	MeanNs  int64   `json:"mean_ns"`
-	MaxNs   int64   `json:"max_ns"`
-	Flops   int64   `json:"flops"`
-	Bytes   int64   `json:"bytes"`
-	GFlops  float64 `json:"gflops_per_sec"`
-}
-
-// WriteJSON renders the registry snapshot as indented JSON (same ordering
-// as WriteText) for consumption by bench tooling (BENCH_*.json).
+// WriteJSON renders the registry export as indented JSON (same ordering
+// as WriteText) for consumption by bench tooling (BENCH_*.json). The
+// schema is Report's — PhaseStats rows keyed by their JSON tags.
 func (r *Registry) WriteJSON(w io.Writer) error {
-	rep := jsonReport{WallNs: r.Wall().Nanoseconds(), Phases: []jsonPhase{}}
-	for _, s := range r.Snapshot() {
-		rep.Phases = append(rep.Phases, jsonPhase{
-			Name:    s.Name,
-			Calls:   s.Calls,
-			TotalNs: s.Total.Nanoseconds(),
-			MeanNs:  s.Mean.Nanoseconds(),
-			MaxNs:   s.Max.Nanoseconds(),
-			Flops:   s.Flops,
-			Bytes:   s.Bytes,
-			GFlops:  s.GFlopsPerSec(),
-		})
-	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
+	return enc.Encode(r.Export())
 }
 
 // fmtDur formats a duration with a unit chosen for its magnitude, keeping
