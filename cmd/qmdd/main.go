@@ -1,0 +1,96 @@
+// Command qmdd is the QMD job-serving daemon: it exposes the
+// internal/serve HTTP API (submit, status, cancel, SSE event streams,
+// health, Prometheus metrics) over a durable job store, runs
+// trajectories on a bounded worker pool with admission control, and
+// drains gracefully on SIGTERM/SIGINT — checkpointing running jobs so a
+// restarted daemon resumes them where they stopped.
+//
+// Usage:
+//
+//	qmdd -addr 127.0.0.1:8432 -data ./qmdd-data -workers 2 -queue-cap 16
+//
+// Submitting a job:
+//
+//	curl -fsS -X POST localhost:8432/v1/jobs -d @job.json
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ldcdft/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8432", "listen address (host:port; port 0 picks a free port)")
+	data := flag.String("data", "qmdd-data", "durable job store directory")
+	workers := flag.Int("workers", 2, "concurrent trajectory workers")
+	queueCap := flag.Int("queue-cap", 16, "pending-queue capacity (excess submissions get 429)")
+	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown budget for checkpointing running jobs")
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("qmdd: ")
+	if flag.NArg() != 0 {
+		log.Fatalf("unexpected arguments: %v", flag.Args())
+	}
+	if err := run(*addr, *data, *workers, *queueCap, *drainTimeout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr, data string, workers, queueCap int, drainTimeout time.Duration) error {
+	mgr, err := serve.NewManager(serve.Config{
+		DataDir:  data,
+		Workers:  workers,
+		QueueCap: queueCap,
+		Logf:     log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	// The resolved address line is the daemon's readiness signal —
+	// scripts (and the smoke test) parse the port out of it.
+	log.Printf("listening on %s (data %s, %d workers, queue capacity %d)",
+		ln.Addr(), data, workers, queueCap)
+
+	srv := &http.Server{Handler: mgr.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("http server: %w", err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+
+	log.Printf("signal received; draining (budget %s)", drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	// Drain the manager first: it checkpoints running jobs and closes
+	// their event streams, which lets in-flight SSE handlers finish so
+	// the HTTP shutdown below can complete.
+	if err := mgr.Shutdown(dctx); err != nil {
+		log.Printf("drain: %v", err)
+	}
+	if err := srv.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("http shutdown: %v", err)
+	}
+	log.Printf("shutdown complete")
+	return nil
+}

@@ -1,0 +1,87 @@
+package qio
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestJobRootLayoutAndList(t *testing.T) {
+	root, err := OpenJobRoot(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := root.List()
+	if err != nil || len(ids) != 0 {
+		t.Fatalf("fresh root lists %v, %v", ids, err)
+	}
+	for _, id := range []string{"j00000002", "j00000001", "j00000010"} {
+		if _, err := root.JobDir(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids, err = root.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"j00000001", "j00000002", "j00000010"}
+	if len(ids) != len(want) {
+		t.Fatalf("list %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("list %v, want %v (sorted)", ids, want)
+		}
+	}
+	ck := root.CheckpointPath("j00000001")
+	if filepath.Base(ck) != JobCheckpointFile {
+		t.Fatalf("checkpoint path %s", ck)
+	}
+}
+
+func TestJobRootRejectsEscapingIDs(t *testing.T) {
+	root, err := OpenJobRoot(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"", ".", "..", "../evil", "a/b", "/abs"} {
+		if _, err := root.JobDir(id); err == nil {
+			t.Fatalf("id %q accepted", id)
+		}
+	}
+}
+
+func TestWriteJSONFileAtomicAndReadBack(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	type rec struct {
+		A int      `json:"a"`
+		B []string `json:"b"`
+	}
+	if err := WriteJSONFile(path, rec{A: 1, B: []string{"x", "y"}}); err != nil {
+		t.Fatal(err)
+	}
+	// No temp file left behind.
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+	var got rec
+	if err := ReadJSONFile(path, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.A != 1 || len(got.B) != 2 || got.B[1] != "y" {
+		t.Fatalf("round trip %+v", got)
+	}
+	// Overwrite replaces the content whole.
+	if err := WriteJSONFile(path, rec{A: 2}); err != nil {
+		t.Fatal(err)
+	}
+	got = rec{}
+	if err := ReadJSONFile(path, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.A != 2 || got.B != nil {
+		t.Fatalf("overwrite %+v", got)
+	}
+}

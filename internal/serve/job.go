@@ -1,0 +1,191 @@
+// Package serve is the job-serving layer of the LDC-DFT engine: a
+// bounded priority queue with admission control, a worker pool running
+// QMD trajectories with cooperative cancellation, durable per-job state
+// (specs and results as JSON next to qio checkpoints, so a killed
+// daemon recovers its queue and resumes in-flight work), and a
+// stdlib-only HTTP API with an SSE step stream and Prometheus metrics.
+// cmd/qmdd is the daemon wrapping it.
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	qmd "ldcdft"
+	"ldcdft/internal/atoms"
+	"ldcdft/internal/geom"
+)
+
+// AtomSpec is one atom of a submitted system: a predefined species
+// symbol plus position (Bohr) and optional velocity (Bohr per atomic
+// time unit).
+type AtomSpec struct {
+	Species  string     `json:"species"`
+	Position [3]float64 `json:"position"`
+	Velocity [3]float64 `json:"velocity,omitempty"`
+}
+
+// ConfigSpec is the wire form of the LDC-DFT physics configuration
+// (core.Config) — the subset a job may set, with JSON names. Zero
+// values fall through to the engine defaults.
+type ConfigSpec struct {
+	GridN          int     `json:"grid_n"`
+	DomainsPerAxis int     `json:"domains_per_axis"`
+	BufN           int     `json:"buf_n"`
+	Ecut           float64 `json:"ecut"`
+	KT             float64 `json:"kt,omitempty"`
+	MixAlpha       float64 `json:"mix_alpha,omitempty"`
+	Anderson       bool    `json:"anderson,omitempty"`
+	Pulay          bool    `json:"pulay,omitempty"`
+	MaxSCF         int     `json:"max_scf,omitempty"`
+	EnergyTol      float64 `json:"energy_tol,omitempty"`
+	DensityTol     float64 `json:"density_tol,omitempty"`
+	EigenIters     int     `json:"eigen_iters,omitempty"`
+	Seed           int64   `json:"seed,omitempty"`
+	Workers        int     `json:"workers,omitempty"`
+}
+
+// LDC converts the spec to the engine configuration.
+func (c ConfigSpec) LDC() qmd.LDCConfig {
+	return qmd.LDCConfig{
+		GridN:          c.GridN,
+		DomainsPerAxis: c.DomainsPerAxis,
+		BufN:           c.BufN,
+		Ecut:           c.Ecut,
+		KT:             c.KT,
+		MixAlpha:       c.MixAlpha,
+		Anderson:       c.Anderson,
+		Pulay:          c.Pulay,
+		MaxSCF:         c.MaxSCF,
+		EnergyTol:      c.EnergyTol,
+		DensityTol:     c.DensityTol,
+		EigenIters:     c.EigenIters,
+		Seed:           c.Seed,
+		Workers:        c.Workers,
+	}
+}
+
+// JobSpec is a submitted QMD job: the atomic system, the physics
+// configuration, and the trajectory length. It is persisted verbatim as
+// spec.json and is immutable after admission.
+type JobSpec struct {
+	// Name is a client-chosen label, echoed in status responses.
+	Name string `json:"name,omitempty"`
+	// Priority orders the queue: higher runs first, FIFO within a
+	// priority level.
+	Priority int `json:"priority,omitempty"`
+
+	CellL float64    `json:"cell_l"`
+	Atoms []AtomSpec `json:"atoms"`
+
+	Config ConfigSpec `json:"config"`
+
+	Steps int     `json:"steps"`
+	DtFs  float64 `json:"dt_fs,omitempty"` // 0 = paper default (0.242 fs)
+
+	// CheckpointEvery is the checkpoint cadence in MD steps (0 = every
+	// step — the durable default that makes daemon restarts cheap).
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+}
+
+// Validate rejects specs the engine cannot run, with messages meant for
+// API clients.
+func (s *JobSpec) Validate() error {
+	switch {
+	case s.Steps <= 0:
+		return fmt.Errorf("steps must be positive, got %d", s.Steps)
+	case s.CellL <= 0:
+		return fmt.Errorf("cell_l must be positive, got %g", s.CellL)
+	case len(s.Atoms) == 0:
+		return fmt.Errorf("at least one atom is required")
+	case s.Config.GridN <= 0:
+		return fmt.Errorf("config.grid_n must be positive, got %d", s.Config.GridN)
+	case s.Config.DomainsPerAxis <= 0:
+		return fmt.Errorf("config.domains_per_axis must be positive, got %d", s.Config.DomainsPerAxis)
+	case s.Config.Ecut <= 0:
+		return fmt.Errorf("config.ecut must be positive, got %g", s.Config.Ecut)
+	case s.DtFs < 0:
+		return fmt.Errorf("dt_fs must be non-negative, got %g", s.DtFs)
+	case s.CheckpointEvery < 0:
+		return fmt.Errorf("checkpoint_every must be non-negative, got %d", s.CheckpointEvery)
+	}
+	for i, a := range s.Atoms {
+		if atoms.SpeciesBySymbol(a.Species) == nil {
+			return fmt.Errorf("atoms[%d]: unknown species %q", i, a.Species)
+		}
+	}
+	return nil
+}
+
+// BuildSystem materializes the atomic system of the spec.
+func (s *JobSpec) BuildSystem() (*qmd.System, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	sys := &atoms.System{Cell: geom.Cell{L: s.CellL}}
+	for _, a := range s.Atoms {
+		sys.Atoms = append(sys.Atoms, atoms.Atom{
+			Species:  atoms.SpeciesBySymbol(a.Species),
+			Position: geom.Vec3{X: a.Position[0], Y: a.Position[1], Z: a.Position[2]},
+			Velocity: geom.Vec3{X: a.Velocity[0], Y: a.Velocity[1], Z: a.Velocity[2]},
+		})
+	}
+	return sys, nil
+}
+
+// Status is the lifecycle state of a job.
+type Status string
+
+const (
+	StatusQueued    Status = "queued"
+	StatusRunning   Status = "running"
+	StatusCompleted Status = "completed"
+	StatusFailed    Status = "failed"
+	StatusCancelled Status = "cancelled"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool {
+	return s == StatusCompleted || s == StatusFailed || s == StatusCancelled
+}
+
+// JobState is the mutable lifecycle record of a job — the body of
+// GET /v1/jobs/{id} and the state.json artifact. Per-step energies and
+// temperatures accumulate as the trajectory advances.
+type JobState struct {
+	ID       string `json:"id"`
+	Name     string `json:"name,omitempty"`
+	Status   Status `json:"status"`
+	Priority int    `json:"priority,omitempty"`
+
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at,omitzero"`
+	FinishedAt  time.Time `json:"finished_at,omitzero"`
+
+	Steps         int       `json:"steps"`
+	StepsDone     int       `json:"steps_done"`
+	SCFIterations int       `json:"scf_iterations,omitempty"`
+	EnergiesHa    []float64 `json:"energies_ha,omitempty"`
+	TemperaturesK []float64 `json:"temperatures_k,omitempty"`
+
+	Error string `json:"error,omitempty"`
+}
+
+// clone returns a deep copy safe to hand outside the manager lock.
+func (st *JobState) clone() *JobState {
+	out := *st
+	out.EnergiesHa = append([]float64(nil), st.EnergiesHa...)
+	out.TemperaturesK = append([]float64(nil), st.TemperaturesK...)
+	return &out
+}
+
+// Event is one entry of a job's live event stream (the SSE feed):
+// a status transition, a completed MD step, or the terminal record.
+type Event struct {
+	Type     string  `json:"type"` // "status" | "step" | "done"
+	Status   Status  `json:"status,omitempty"`
+	Step     int     `json:"step,omitempty"`
+	EnergyHa float64 `json:"energy_ha,omitempty"`
+	TempK    float64 `json:"temp_k,omitempty"`
+	Error    string  `json:"error,omitempty"`
+}

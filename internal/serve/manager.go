@@ -1,0 +1,505 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ldcdft/internal/qio"
+)
+
+// Sentinel errors of the admission/lifecycle API. The HTTP layer maps
+// them to status codes (429, 503, 404, 409).
+var (
+	// ErrQueueFull rejects a submission when the pending queue is at
+	// capacity — the admission-control backpressure signal.
+	ErrQueueFull = errors.New("serve: job queue is full")
+	// ErrShuttingDown rejects submissions during graceful drain.
+	ErrShuttingDown = errors.New("serve: daemon is shutting down")
+	// ErrNotFound marks an unknown job ID.
+	ErrNotFound = errors.New("serve: job not found")
+	// ErrAlreadyFinished rejects cancellation of a terminal job.
+	ErrAlreadyFinished = errors.New("serve: job already finished")
+
+	// ErrCancelledByClient is the cancellation cause of DELETE'd jobs.
+	ErrCancelledByClient = errors.New("serve: job cancelled by client")
+	// errShutdownCause is the cancellation cause of graceful drain; jobs
+	// interrupted by it are requeued (not terminal) so a restarted
+	// daemon resumes them from their checkpoints.
+	errShutdownCause = errors.New("serve: interrupted by daemon shutdown")
+)
+
+// Config configures a Manager.
+type Config struct {
+	// DataDir is the durable job store root (spec/state JSON and
+	// checkpoints live under DataDir/jobs/<id>/).
+	DataDir string
+	// QueueCap bounds the pending queue (running jobs excluded);
+	// submissions beyond it get ErrQueueFull. 0 = 16.
+	QueueCap int
+	// Workers is the number of concurrent trajectory workers. 0 = 2.
+	Workers int
+	// Runner executes trajectories; nil = QMDRunner (the real engine).
+	Runner Runner
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// job is the manager-internal record: persisted state plus scheduling
+// bookkeeping. All fields are guarded by the manager lock.
+type job struct {
+	id       string
+	seq      int64
+	spec     JobSpec
+	dir      string
+	state    JobState
+	queueIdx int                     // heap index; -1 when not queued
+	cancel   context.CancelCauseFunc // non-nil while running
+	subs     map[chan Event]struct{}
+}
+
+// Manager owns the job store, the bounded priority queue, and the
+// worker pool. It is created over a (possibly non-empty) data
+// directory: jobs found on disk are reloaded, and non-terminal ones are
+// requeued so interrupted trajectories resume from their checkpoints.
+type Manager struct {
+	cfg    Config
+	root   *qio.JobRoot
+	runner Runner
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	jobs     map[string]*job
+	queue    jobQueue
+	seq      int64
+	draining bool
+	running  int
+
+	submitted int64
+	completed int64
+	failed    int64
+	cancelled int64
+	rejected  int64
+
+	wg sync.WaitGroup
+}
+
+// NewManager opens (creating if needed) the job store at cfg.DataDir,
+// recovers persisted jobs — requeueing every non-terminal one — and
+// starts the worker pool.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = 16
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	if cfg.Runner == nil {
+		cfg.Runner = QMDRunner{}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	root, err := qio.OpenJobRoot(cfg.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		cfg:    cfg,
+		root:   root,
+		runner: cfg.Runner,
+		jobs:   make(map[string]*job),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	if err := m.recover(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m, nil
+}
+
+// recover reloads every job directory. Terminal jobs become queryable
+// history; queued and interrupted-while-running jobs are requeued in
+// their original admission order (the seq embedded in the ID), so a
+// restarted daemon picks up exactly where the killed one left off.
+func (m *Manager) recover() error {
+	ids, err := m.root.List()
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		dir, err := m.root.JobDir(id)
+		if err != nil {
+			return err
+		}
+		j := &job{id: id, dir: dir, queueIdx: -1, subs: make(map[chan Event]struct{})}
+		if err := qio.ReadJSONFile(filepath.Join(dir, qio.JobSpecFile), &j.spec); err != nil {
+			m.cfg.Logf("serve: skipping job %s: unreadable spec: %v", id, err)
+			continue
+		}
+		if err := qio.ReadJSONFile(filepath.Join(dir, qio.JobStateFile), &j.state); err != nil {
+			// Crash between spec and state writes: treat as freshly queued.
+			j.state = JobState{ID: id, Name: j.spec.Name, Status: StatusQueued,
+				Priority: j.spec.Priority, Steps: j.spec.Steps}
+		}
+		if n, ok := seqOfID(id); ok {
+			j.seq = n
+			if n > m.seq {
+				m.seq = n
+			}
+		}
+		m.jobs[id] = j
+		if !j.state.Status.Terminal() {
+			if j.state.Status != StatusQueued {
+				m.cfg.Logf("serve: requeueing interrupted job %s (was %s, %d steps done)",
+					id, j.state.Status, j.state.StepsDone)
+				j.state.Status = StatusQueued
+				if err := m.persistState(j); err != nil {
+					return err
+				}
+			}
+			m.queue.push(j)
+		}
+	}
+	return nil
+}
+
+// seqOfID parses the admission sequence out of a generated job ID
+// ("j%08d").
+func seqOfID(id string) (int64, bool) {
+	if !strings.HasPrefix(id, "j") {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(id[1:], 10, 64)
+	return n, err == nil
+}
+
+// Submit validates, persists, and enqueues a job, returning its initial
+// state. ErrQueueFull and ErrShuttingDown signal admission rejection.
+func (m *Manager) Submit(spec JobSpec) (*JobState, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: invalid job spec: %w", err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return nil, ErrShuttingDown
+	}
+	if m.queue.Len() >= m.cfg.QueueCap {
+		m.rejected++
+		return nil, ErrQueueFull
+	}
+	m.seq++
+	id := fmt.Sprintf("j%08d", m.seq)
+	dir, err := m.root.JobDir(id)
+	if err != nil {
+		return nil, err
+	}
+	j := &job{
+		id: id, seq: m.seq, spec: spec, dir: dir, queueIdx: -1,
+		subs: make(map[chan Event]struct{}),
+		state: JobState{
+			ID: id, Name: spec.Name, Status: StatusQueued, Priority: spec.Priority,
+			SubmittedAt: time.Now().UTC(), Steps: spec.Steps,
+		},
+	}
+	if err := qio.WriteJSONFile(filepath.Join(dir, qio.JobSpecFile), &j.spec); err != nil {
+		return nil, err
+	}
+	if err := m.persistState(j); err != nil {
+		return nil, err
+	}
+	m.jobs[id] = j
+	m.queue.push(j)
+	m.submitted++
+	m.cond.Signal()
+	return j.state.clone(), nil
+}
+
+// Get returns a snapshot of the job's state.
+func (m *Manager) Get(id string) (*JobState, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j := m.jobs[id]
+	if j == nil {
+		return nil, ErrNotFound
+	}
+	return j.state.clone(), nil
+}
+
+// List returns snapshots of every known job, in admission order.
+func (m *Manager) List() []*JobState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*JobState, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, j.state.clone())
+	}
+	// Admission order == seq order == lexical ID order for generated IDs.
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && out[k].ID < out[k-1].ID; k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	return out
+}
+
+// Cancel requests cancellation: a queued job is removed and terminal
+// immediately; a running job's context is cancelled (with
+// ErrCancelledByClient as the cause) and turns terminal once the
+// trajectory stops at the next cooperative point, final checkpoint
+// written. The returned state is the post-request snapshot.
+func (m *Manager) Cancel(id string) (*JobState, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j := m.jobs[id]
+	if j == nil {
+		return nil, ErrNotFound
+	}
+	switch {
+	case m.queue.remove(j):
+		j.state.Status = StatusCancelled
+		j.state.FinishedAt = time.Now().UTC()
+		m.cancelled++
+		if err := m.persistState(j); err != nil {
+			return nil, err
+		}
+		m.finishBroadcast(j)
+	case j.state.Status == StatusRunning && j.cancel != nil:
+		j.cancel(ErrCancelledByClient)
+	default:
+		return nil, ErrAlreadyFinished
+	}
+	return j.state.clone(), nil
+}
+
+// Subscribe attaches an event stream to the job: an immediate status
+// event, then one event per completed MD step, then a terminal "done"
+// event, after which the channel is closed. The returned func detaches
+// (safe to call after close). Slow consumers lose intermediate step
+// events rather than stalling the trajectory.
+func (m *Manager) Subscribe(id string) (<-chan Event, func(), error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j := m.jobs[id]
+	if j == nil {
+		return nil, nil, ErrNotFound
+	}
+	ch := make(chan Event, 64)
+	ch <- Event{Type: "status", Status: j.state.Status, Step: j.state.StepsDone}
+	if j.state.Status.Terminal() {
+		ch <- doneEvent(j)
+		close(ch)
+		return ch, func() {}, nil
+	}
+	j.subs[ch] = struct{}{}
+	off := func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if _, ok := j.subs[ch]; ok {
+			delete(j.subs, ch)
+			close(ch)
+		}
+	}
+	return ch, off, nil
+}
+
+func doneEvent(j *job) Event {
+	return Event{Type: "done", Status: j.state.Status, Step: j.state.StepsDone, Error: j.state.Error}
+}
+
+// broadcast fans an event out to the job's subscribers, dropping it for
+// subscribers whose buffer is full. Callers hold the manager lock.
+func (m *Manager) broadcast(j *job, ev Event) {
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// finishBroadcast emits the terminal event and closes every
+// subscription. The done event must not be dropped, so a full
+// subscriber buffer has its oldest entry evicted first. Callers hold
+// the manager lock.
+func (m *Manager) finishBroadcast(j *job) {
+	for ch := range j.subs {
+		ev := doneEvent(j)
+		for {
+			select {
+			case ch <- ev:
+			default:
+				select {
+				case <-ch:
+				default:
+				}
+				continue
+			}
+			break
+		}
+		delete(j.subs, ch)
+		close(ch)
+	}
+}
+
+// worker pulls jobs off the queue until drain.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		for !m.draining && m.queue.Len() == 0 {
+			m.cond.Wait()
+		}
+		if m.draining {
+			m.mu.Unlock()
+			return
+		}
+		j := m.queue.pop()
+		ctx, cancel := context.WithCancelCause(context.Background())
+		j.cancel = cancel
+		j.state.Status = StatusRunning
+		j.state.StartedAt = time.Now().UTC()
+		m.running++
+		if err := m.persistState(j); err != nil {
+			m.cfg.Logf("serve: persist %s: %v", j.id, err)
+		}
+		m.broadcast(j, Event{Type: "status", Status: StatusRunning, Step: j.state.StepsDone})
+		spec := j.spec
+		ckPath := filepath.Join(j.dir, qio.JobCheckpointFile)
+		m.mu.Unlock()
+
+		m.cfg.Logf("serve: job %s started (%d atoms, %d steps)", j.id, len(spec.Atoms), spec.Steps)
+		rep, err := m.runner.Run(ctx, spec, ckPath, func(step int, energyHa, tempK float64) {
+			m.onStep(j, step, energyHa, tempK)
+		})
+		cancel(nil)
+		m.finish(j, ctx, rep, err)
+	}
+}
+
+// onStep records a completed MD step and streams it to subscribers.
+func (m *Manager) onStep(j *job, step int, energyHa, tempK float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j.state.StepsDone = step
+	j.state.EnergiesHa = append(j.state.EnergiesHa, energyHa)
+	j.state.TemperaturesK = append(j.state.TemperaturesK, tempK)
+	m.broadcast(j, Event{Type: "step", Status: StatusRunning, Step: step, EnergyHa: energyHa, TempK: tempK})
+}
+
+// finish resolves a returned trajectory into its terminal state — or,
+// when the run was interrupted by graceful drain, back into the queued
+// state so the next daemon resumes it.
+func (m *Manager) finish(j *job, ctx context.Context, rep RunReport, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.running--
+	j.cancel = nil
+	// The report is authoritative: on resumed runs it includes the
+	// checkpoint-restored prefix the in-memory record may lack.
+	if rep.Steps > 0 {
+		j.state.StepsDone = rep.Steps
+		j.state.SCFIterations = rep.SCFIterations
+		j.state.EnergiesHa = rep.EnergiesHa
+		j.state.TemperaturesK = rep.TemperaturesK
+	}
+	cause := context.Cause(ctx)
+	switch {
+	case err == nil:
+		j.state.Status = StatusCompleted
+		m.completed++
+	case errors.Is(err, ErrCancelledByClient) || errors.Is(cause, ErrCancelledByClient):
+		j.state.Status = StatusCancelled
+		j.state.Error = ErrCancelledByClient.Error()
+		m.cancelled++
+	case errors.Is(err, errShutdownCause) || errors.Is(cause, errShutdownCause):
+		// Not terminal: the checkpoint written on cancellation carries
+		// the trajectory; requeue-on-restart resumes it.
+		j.state.Status = StatusQueued
+		if perr := m.persistState(j); perr != nil {
+			m.cfg.Logf("serve: persist %s: %v", j.id, perr)
+		}
+		m.cfg.Logf("serve: job %s checkpointed at step %d for shutdown", j.id, j.state.StepsDone)
+		m.finishBroadcast(j)
+		return
+	default:
+		j.state.Status = StatusFailed
+		j.state.Error = err.Error()
+		m.failed++
+	}
+	j.state.FinishedAt = time.Now().UTC()
+	if perr := m.persistState(j); perr != nil {
+		m.cfg.Logf("serve: persist %s: %v", j.id, perr)
+	}
+	m.cfg.Logf("serve: job %s %s after %d steps", j.id, j.state.Status, j.state.StepsDone)
+	m.finishBroadcast(j)
+}
+
+// persistState writes state.json crash-safely. Callers hold the lock.
+func (m *Manager) persistState(j *job) error {
+	return qio.WriteJSONFile(filepath.Join(j.dir, qio.JobStateFile), &j.state)
+}
+
+// Counters is a consistent snapshot of the scheduling metrics exported
+// at /metrics.
+type Counters struct {
+	QueueDepth int
+	Running    int
+	Submitted  int64
+	Completed  int64
+	Failed     int64
+	Cancelled  int64
+	Rejected   int64
+}
+
+// Stats returns the current scheduling counters.
+func (m *Manager) Stats() Counters {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Counters{
+		QueueDepth: m.queue.Len(),
+		Running:    m.running,
+		Submitted:  m.submitted,
+		Completed:  m.completed,
+		Failed:     m.failed,
+		Cancelled:  m.cancelled,
+		Rejected:   m.rejected,
+	}
+}
+
+// Shutdown drains gracefully: admissions stop (ErrShuttingDown),
+// running trajectories are cancelled with the shutdown cause — each
+// writes a final checkpoint and is persisted back as queued — and the
+// call returns when every worker has exited, or with ctx's error on
+// timeout. Queued jobs stay persisted and queued for the next daemon.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	m.draining = true
+	m.cond.Broadcast()
+	for _, j := range m.jobs {
+		if j.cancel != nil {
+			j.cancel(errShutdownCause)
+		}
+	}
+	m.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain interrupted: %w", context.Cause(ctx))
+	}
+}

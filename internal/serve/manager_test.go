@@ -1,0 +1,365 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeRunner is a Runner that never touches the SCF engine: it reports
+// each start on started, blocks jobs whose Name has a gate entry until
+// the gate closes (or the context cancels), then "runs" spec.Steps
+// instant MD steps.
+type fakeRunner struct {
+	started chan string
+	gate    map[string]chan struct{}
+}
+
+func (f *fakeRunner) Run(ctx context.Context, spec JobSpec, ckPath string,
+	onStep func(step int, energyHa, tempK float64)) (RunReport, error) {
+	if f.started != nil {
+		f.started <- spec.Name
+	}
+	if g := f.gate[spec.Name]; g != nil {
+		select {
+		case <-g:
+		case <-ctx.Done():
+			return RunReport{Steps: 1, EnergiesHa: []float64{-0.5}, TemperaturesK: []float64{300}},
+				fmt.Errorf("fake: interrupted: %w", context.Cause(ctx))
+		}
+	}
+	var es, ts []float64
+	for i := 1; i <= spec.Steps; i++ {
+		e := -float64(i)
+		onStep(i, e, 300)
+		es = append(es, e)
+		ts = append(ts, 300)
+	}
+	return RunReport{Steps: spec.Steps, SCFIterations: 3 * spec.Steps, EnergiesHa: es, TemperaturesK: ts}, nil
+}
+
+// validSpec is a minimal spec that passes validation (fake runners
+// never actually solve it).
+func validSpec(name string, steps int) JobSpec {
+	return JobSpec{
+		Name:  name,
+		CellL: 8,
+		Atoms: []AtomSpec{{Species: "H", Position: [3]float64{4, 4, 4}}},
+		Config: ConfigSpec{
+			GridN: 8, DomainsPerAxis: 1, Ecut: 2,
+		},
+		Steps: steps,
+	}
+}
+
+// waitStatus polls until the job reaches want (fatal on timeout or on a
+// different terminal status).
+func waitStatus(t *testing.T, m *Manager, id string, want Status) *JobState {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := m.Get(id)
+		if err != nil {
+			t.Fatalf("get %s: %v", id, err)
+		}
+		if st.Status == want {
+			return st
+		}
+		if st.Status.Terminal() {
+			t.Fatalf("job %s reached %s (error %q), want %s", id, st.Status, st.Error, want)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck at %s, want %s", id, st.Status, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func newTestManager(t *testing.T, dir string, workers, cap_ int, r Runner) *Manager {
+	t.Helper()
+	m, err := NewManager(Config{DataDir: dir, Workers: workers, QueueCap: cap_, Runner: r, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func shutdown(t *testing.T, m *Manager) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+func TestSubmitRunsToCompletion(t *testing.T) {
+	m := newTestManager(t, t.TempDir(), 2, 4, &fakeRunner{})
+	defer shutdown(t, m)
+	st, err := m.Submit(validSpec("a", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != StatusQueued || st.ID == "" {
+		t.Fatalf("unexpected initial state %+v", st)
+	}
+	fin := waitStatus(t, m, st.ID, StatusCompleted)
+	if fin.StepsDone != 3 || len(fin.EnergiesHa) != 3 || fin.EnergiesHa[2] != -3 {
+		t.Fatalf("unexpected final record %+v", fin)
+	}
+	if c := m.Stats(); c.Submitted != 1 || c.Completed != 1 || c.Running != 0 || c.QueueDepth != 0 {
+		t.Fatalf("unexpected counters %+v", c)
+	}
+}
+
+func TestAdmissionControlRejectsWhenFull(t *testing.T) {
+	gate := make(chan struct{})
+	fr := &fakeRunner{started: make(chan string, 8), gate: map[string]chan struct{}{"a": gate}}
+	m := newTestManager(t, t.TempDir(), 1, 1, fr)
+	defer shutdown(t, m)
+	a, err := m.Submit(validSpec("a", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-fr.started // a occupies the single worker
+	b, err := m.Submit(validSpec("b", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(validSpec("c", 1)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third submission: want ErrQueueFull, got %v", err)
+	}
+	if c := m.Stats(); c.Rejected != 1 || c.QueueDepth != 1 || c.Running != 1 {
+		t.Fatalf("unexpected counters %+v", c)
+	}
+	close(gate)
+	waitStatus(t, m, a.ID, StatusCompleted)
+	waitStatus(t, m, b.ID, StatusCompleted)
+	if c := m.Stats(); c.Completed != 2 || c.QueueDepth != 0 || c.Running != 0 {
+		t.Fatalf("unexpected final counters %+v", c)
+	}
+}
+
+func TestPriorityOrderFIFOWithinLevel(t *testing.T) {
+	gate := make(chan struct{})
+	fr := &fakeRunner{started: make(chan string, 8), gate: map[string]chan struct{}{"blocker": gate}}
+	m := newTestManager(t, t.TempDir(), 1, 8, fr)
+	defer shutdown(t, m)
+	if _, err := m.Submit(validSpec("blocker", 1)); err != nil {
+		t.Fatal(err)
+	}
+	<-fr.started
+	var last *JobState
+	for _, name := range []string{"low1", "low2", "high"} {
+		spec := validSpec(name, 1)
+		if name == "high" {
+			spec.Priority = 5
+		}
+		st, err := m.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = st
+	}
+	close(gate)
+	waitStatus(t, m, last.ID, StatusCompleted)
+	var order []string
+	for i := 0; i < 3; i++ { // the blocker's start was consumed above
+		order = append(order, <-fr.started)
+	}
+	want := []string{"high", "low1", "low2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("execution order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate)
+	fr := &fakeRunner{started: make(chan string, 8), gate: map[string]chan struct{}{"blocker": gate}}
+	m := newTestManager(t, t.TempDir(), 1, 4, fr)
+	defer shutdown(t, m)
+	if _, err := m.Submit(validSpec("blocker", 1)); err != nil {
+		t.Fatal(err)
+	}
+	<-fr.started
+	b, err := m.Submit(validSpec("b", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Cancel(b.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != StatusCancelled {
+		t.Fatalf("cancelled queued job has status %s", st.Status)
+	}
+	if _, err := m.Cancel(b.ID); !errors.Is(err, ErrAlreadyFinished) {
+		t.Fatalf("second cancel: want ErrAlreadyFinished, got %v", err)
+	}
+	if _, err := m.Cancel("j99999999"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown cancel: want ErrNotFound, got %v", err)
+	}
+	if c := m.Stats(); c.Cancelled != 1 || c.QueueDepth != 0 {
+		t.Fatalf("unexpected counters %+v", c)
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	gate := make(chan struct{}) // never closed: job only ends via ctx
+	fr := &fakeRunner{started: make(chan string, 8), gate: map[string]chan struct{}{"a": gate}}
+	m := newTestManager(t, t.TempDir(), 1, 4, fr)
+	defer shutdown(t, m)
+	a, err := m.Submit(validSpec("a", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-fr.started
+	if _, err := m.Cancel(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	fin := waitStatus(t, m, a.ID, StatusCancelled)
+	if fin.StepsDone != 1 { // the fake reports one step done at interruption
+		t.Fatalf("cancelled job records %d steps", fin.StepsDone)
+	}
+	if c := m.Stats(); c.Cancelled != 1 || c.Running != 0 {
+		t.Fatalf("unexpected counters %+v", c)
+	}
+}
+
+func TestSubscribeStreamsStepsAndDone(t *testing.T) {
+	m := newTestManager(t, t.TempDir(), 1, 4, &fakeRunner{})
+	defer shutdown(t, m)
+	st, err := m.Submit(validSpec("a", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, off, err := m.Subscribe(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer off()
+	var steps []int
+	var done bool
+	for ev := range events {
+		switch ev.Type {
+		case "step":
+			steps = append(steps, ev.Step)
+		case "done":
+			done = true
+			if ev.Status != StatusCompleted {
+				t.Fatalf("done status %s", ev.Status)
+			}
+		}
+	}
+	if !done {
+		t.Fatal("stream closed without a done event")
+	}
+	// Steps may be partially dropped for slow consumers, but whatever
+	// arrives must be increasing; with a fast consumer all 3 arrive.
+	for i := 1; i < len(steps); i++ {
+		if steps[i] <= steps[i-1] {
+			t.Fatalf("non-monotonic steps %v", steps)
+		}
+	}
+	// A late subscriber to a terminal job gets status+done immediately.
+	events2, off2, err := m.Subscribe(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer off2()
+	var types []string
+	for ev := range events2 {
+		types = append(types, ev.Type)
+	}
+	if len(types) != 2 || types[0] != "status" || types[1] != "done" {
+		t.Fatalf("late subscription saw %v, want [status done]", types)
+	}
+}
+
+func TestShutdownRequeuesRunningAndRecoveryResumes(t *testing.T) {
+	dir := t.TempDir()
+	gate := make(chan struct{}) // never closed: only shutdown ends the run
+	fr := &fakeRunner{started: make(chan string, 8), gate: map[string]chan struct{}{"a": gate}}
+	m := newTestManager(t, dir, 1, 4, fr)
+	a, err := m.Submit(validSpec("a", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-fr.started
+	b, err := m.Submit(validSpec("b", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shutdown(t, m)
+	if _, err := m.Submit(validSpec("c", 1)); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("submit after shutdown: want ErrShuttingDown, got %v", err)
+	}
+
+	// Restart over the same store: both jobs recover, requeue in
+	// admission order, and run to completion.
+	fr2 := &fakeRunner{started: make(chan string, 8)}
+	m2 := newTestManager(t, dir, 1, 4, fr2)
+	defer shutdown(t, m2)
+	waitStatus(t, m2, a.ID, StatusCompleted)
+	waitStatus(t, m2, b.ID, StatusCompleted)
+	if first := <-fr2.started; first != "a" {
+		t.Fatalf("recovered queue ran %q first, want a", first)
+	}
+	// The admission sequence continues rather than reusing IDs.
+	c, err := m2.Submit(validSpec("c", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ID <= b.ID {
+		t.Fatalf("post-recovery ID %s not after %s", c.ID, b.ID)
+	}
+}
+
+func TestTerminalJobsSurviveRestartWithoutRequeue(t *testing.T) {
+	dir := t.TempDir()
+	m := newTestManager(t, dir, 1, 4, &fakeRunner{})
+	a, err := m.Submit(validSpec("a", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, m, a.ID, StatusCompleted)
+	shutdown(t, m)
+
+	fr2 := &fakeRunner{started: make(chan string, 8)}
+	m2 := newTestManager(t, dir, 1, 4, fr2)
+	defer shutdown(t, m2)
+	st, err := m2.Get(a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != StatusCompleted || len(st.EnergiesHa) != 2 {
+		t.Fatalf("recovered terminal state %+v", st)
+	}
+	select {
+	case name := <-fr2.started:
+		t.Fatalf("terminal job %q was re-run", name)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	m := newTestManager(t, t.TempDir(), 1, 4, &fakeRunner{})
+	defer shutdown(t, m)
+	bad := validSpec("a", 1)
+	bad.Atoms[0].Species = "Xx"
+	if _, err := m.Submit(bad); err == nil {
+		t.Fatal("unknown species accepted")
+	}
+	bad = validSpec("a", 0)
+	if _, err := m.Submit(bad); err == nil {
+		t.Fatal("zero steps accepted")
+	}
+	if c := m.Stats(); c.Submitted != 0 {
+		t.Fatalf("invalid specs counted as submitted: %+v", c)
+	}
+}

@@ -1,0 +1,42 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+
+	"ldcdft/internal/perf"
+)
+
+// WriteMetrics renders the scheduler counters followed by the process
+// perf registry (per-phase timings, FLOP and byte counters) in
+// Prometheus exposition format — the body of GET /metrics.
+func (m *Manager) WriteMetrics(w io.Writer) error {
+	c := m.Stats()
+	rows := []struct {
+		name string
+		help string
+		typ  string
+		v    float64
+	}{
+		{"qmdd_queue_depth", "Jobs waiting in the admission queue.", "gauge", float64(c.QueueDepth)},
+		{"qmdd_jobs_running", "Jobs currently executing on the worker pool.", "gauge", float64(c.Running)},
+		{"qmdd_jobs_submitted_total", "Jobs admitted since daemon start.", "counter", float64(c.Submitted)},
+		{"qmdd_jobs_completed_total", "Jobs finished successfully.", "counter", float64(c.Completed)},
+		{"qmdd_jobs_failed_total", "Jobs finished with an error.", "counter", float64(c.Failed)},
+		{"qmdd_jobs_cancelled_total", "Jobs cancelled by clients.", "counter", float64(c.Cancelled)},
+		{"qmdd_jobs_rejected_total", "Submissions rejected by admission control (429).", "counter", float64(c.Rejected)},
+	}
+	for _, row := range rows {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n",
+			row.name, row.help, row.name, row.typ, row.name, row.v); err != nil {
+			return err
+		}
+	}
+	return perf.Default.WritePrometheus(w)
+}
+
+func (m *Manager) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	m.WriteMetrics(w)
+}

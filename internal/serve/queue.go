@@ -1,0 +1,60 @@
+package serve
+
+import "container/heap"
+
+// jobQueue is the pending-job priority queue: higher Priority first,
+// FIFO (admission sequence) within a priority level. It holds *job
+// entries owned by the Manager and is always accessed under its lock.
+type jobQueue []*job
+
+func (q jobQueue) Len() int { return len(q) }
+
+func (q jobQueue) Less(i, j int) bool {
+	if q[i].state.Priority != q[j].state.Priority {
+		return q[i].state.Priority > q[j].state.Priority
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q jobQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].queueIdx = i
+	q[j].queueIdx = j
+}
+
+func (q *jobQueue) Push(x any) {
+	j := x.(*job)
+	j.queueIdx = len(*q)
+	*q = append(*q, j)
+}
+
+func (q *jobQueue) Pop() any {
+	old := *q
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	j.queueIdx = -1
+	*q = old[:n-1]
+	return j
+}
+
+// push enqueues a job.
+func (q *jobQueue) push(j *job) { heap.Push(q, j) }
+
+// pop dequeues the highest-priority job, or nil when empty.
+func (q *jobQueue) pop() *job {
+	if q.Len() == 0 {
+		return nil
+	}
+	return heap.Pop(q).(*job)
+}
+
+// remove drops a specific job from the middle of the queue (used by
+// cancellation of queued jobs). Reports whether the job was queued.
+func (q *jobQueue) remove(j *job) bool {
+	if j.queueIdx < 0 || j.queueIdx >= q.Len() || (*q)[j.queueIdx] != j {
+		return false
+	}
+	heap.Remove(q, j.queueIdx)
+	return true
+}

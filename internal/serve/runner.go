@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"context"
+	"os"
+
+	qmd "ldcdft"
+)
+
+// RunReport is what a Runner hands back for a finished (or interrupted)
+// trajectory: the accumulated per-step record, including steps restored
+// from a checkpoint on resume.
+type RunReport struct {
+	Steps         int
+	SCFIterations int
+	EnergiesHa    []float64
+	TemperaturesK []float64
+}
+
+// Runner executes one job trajectory. The manager depends only on this
+// interface, so scheduling, admission, cancellation, and recovery are
+// testable with fake runners that never touch the SCF engine.
+//
+// ckPath is the job's checkpoint file: a Runner must checkpoint there
+// (so the daemon can resume after a crash), resume from it when it
+// already exists, and — on cancellation — leave a final checkpoint of
+// the last completed step before returning ctx's cause.
+type Runner interface {
+	Run(ctx context.Context, spec JobSpec, ckPath string,
+		onStep func(step int, energyHa, tempK float64)) (RunReport, error)
+}
+
+// QMDRunner runs jobs through the real LDC-DFT trajectory driver
+// (qmd.RunQMDOpts / qmd.ResumeQMD).
+type QMDRunner struct{}
+
+// Run implements Runner.
+func (QMDRunner) Run(ctx context.Context, spec JobSpec, ckPath string,
+	onStep func(step int, energyHa, tempK float64)) (RunReport, error) {
+	every := spec.CheckpointEvery
+	if every == 0 {
+		every = 1
+	}
+	opts := qmd.QMDOptions{
+		CheckpointPath:  ckPath,
+		CheckpointEvery: every,
+		Ctx:             ctx,
+		OnStep:          onStep,
+	}
+	var res *qmd.QMDResult
+	var err error
+	if _, statErr := os.Stat(ckPath); statErr == nil {
+		res, err = qmd.ResumeQMD(ckPath, spec.Config.LDC(), spec.Steps, spec.DtFs, opts)
+	} else {
+		sys, buildErr := spec.BuildSystem()
+		if buildErr != nil {
+			return RunReport{}, buildErr
+		}
+		res, err = qmd.RunQMDOpts(sys, spec.Config.LDC(), spec.Steps, spec.DtFs, opts)
+	}
+	rep := RunReport{}
+	if res != nil {
+		rep = RunReport{
+			Steps:         res.Steps,
+			SCFIterations: res.SCFIterations,
+			EnergiesHa:    res.Energies,
+			TemperaturesK: res.Temperatures,
+		}
+	}
+	return rep, err
+}
