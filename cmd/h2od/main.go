@@ -7,11 +7,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"ldcdft/internal/analysis"
@@ -21,6 +25,24 @@ import (
 	"ldcdft/internal/reactive"
 	"ldcdft/internal/units"
 )
+
+// validateFlags rejects flag combinations that would otherwise be
+// silently ignored: checkpoint tuning without a checkpoint destination,
+// and resuming from a checkpoint that does not exist.
+func validateFlags(resume, ckPath string) {
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	for _, name := range []string{"checkpoint-every", "checkpoint-group"} {
+		if explicit[name] && ckPath == "" {
+			log.Fatalf("-%s has no effect without -checkpoint", name)
+		}
+	}
+	if resume != "" {
+		if _, err := os.Stat(resume); err != nil {
+			log.Fatalf("-resume: cannot read checkpoint: %v", err)
+		}
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -40,6 +62,7 @@ func main() {
 		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	)
 	flag.Parse()
+	validateFlags(*resume, *ckPath)
 
 	stopProf, err := perf.StartCPUProfile(*cpuProf)
 	if err != nil {
@@ -49,9 +72,15 @@ func main() {
 	perf.Global.Reset()
 	perf.Default.Reset()
 
+	// SIGINT/SIGTERM cancel the trajectory cooperatively: the run stops
+	// after the current step and, when -checkpoint is set, writes a
+	// final checkpoint first.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	cfg := reactive.ProductionConfig{
 		TempK: *tempK, Steps: *steps, SampleEvery: *steps / 8, Seed: *seed,
 		CheckpointEvery: *ckEvery, CheckpointPath: *ckPath, CheckpointGroupSize: *ckGroup,
+		Ctx: ctx,
 	}
 	if *ckPath == "" {
 		cfg.CheckpointEvery = 0
@@ -81,6 +110,14 @@ func main() {
 
 	res, err := reactive.RunProduction(sys, cfg)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			if *ckPath != "" {
+				log.Printf("interrupted; final checkpoint at %s", *ckPath)
+			} else {
+				log.Printf("interrupted")
+			}
+			os.Exit(130)
+		}
 		log.Fatalf("run: %v", err)
 	}
 	fmt.Println("  time(fs)   H2  H2O   OH-  M-H  freeH  dissolved-Li   pH-proxy")

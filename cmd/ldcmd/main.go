@@ -9,17 +9,40 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	qmd "ldcdft"
 	"ldcdft/internal/perf"
 	"ldcdft/internal/qio"
 )
+
+// validateFlags rejects flag combinations that would otherwise be
+// silently ignored: checkpoint tuning without a checkpoint destination,
+// and resuming from a checkpoint that does not exist. explicit holds
+// the flags the user actually set.
+func validateFlags(resume, ckPath string) {
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	for _, name := range []string{"checkpoint-every", "checkpoint-group"} {
+		if explicit[name] && ckPath == "" {
+			log.Fatalf("-%s has no effect without -checkpoint", name)
+		}
+	}
+	if resume != "" {
+		if _, err := os.Stat(resume); err != nil {
+			log.Fatalf("-resume: cannot read checkpoint: %v", err)
+		}
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -45,6 +68,7 @@ func main() {
 		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	)
 	flag.Parse()
+	validateFlags(*resume, *ckPath)
 
 	stopProf, err := perf.StartCPUProfile(*cpuProf)
 	if err != nil {
@@ -73,10 +97,16 @@ func main() {
 		EigenIters:     4,
 		Seed:           *seed,
 	}
+	// SIGINT/SIGTERM cancel the trajectory cooperatively: the run stops
+	// at the next step (or SCF-iteration) boundary and, when
+	// -checkpoint is set, writes a final checkpoint first.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	opts := qmd.QMDOptions{
 		CheckpointEvery:     *ckEvery,
 		CheckpointPath:      *ckPath,
 		CheckpointGroupSize: *ckGroup,
+		Ctx:                 ctx,
 	}
 	if *ckPath == "" {
 		opts.CheckpointEvery = 0
@@ -92,6 +122,18 @@ func main() {
 		res, err = qmd.RunQMDOpts(sys, cfg, *steps, *dtFs, opts)
 	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			done := 0
+			if res != nil {
+				done = res.Steps
+			}
+			if *ckPath != "" && done > 0 {
+				log.Printf("interrupted after step %d; final checkpoint at %s", done, *ckPath)
+			} else {
+				log.Printf("interrupted after step %d", done)
+			}
+			os.Exit(130)
+		}
 		log.Printf("error: %v", err)
 		os.Exit(1)
 	}

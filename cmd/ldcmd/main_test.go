@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFlagValidation: conflicting or impossible flag combinations exit
+// non-zero with a diagnostic instead of being silently ignored.
+func TestFlagValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := filepath.Join(t.TempDir(), "ldcmd")
+	if out, err := exec.Command("go", "build", "-o", bin, "ldcdft/cmd/ldcmd").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"resume-missing-file", []string{"-resume", filepath.Join(t.TempDir(), "nope.ck")}, "-resume"},
+		{"checkpoint-every-without-checkpoint", []string{"-checkpoint-every", "5"}, "-checkpoint-every"},
+		{"checkpoint-group-without-checkpoint", []string{"-checkpoint-group", "64"}, "-checkpoint-group"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := exec.Command(bin, tc.args...).CombinedOutput()
+			if err == nil {
+				t.Fatalf("exit 0, want non-zero\n%s", out)
+			}
+			if !strings.Contains(string(out), tc.want) {
+				t.Fatalf("diagnostic missing %q:\n%s", tc.want, out)
+			}
+		})
+	}
+}
