@@ -1,6 +1,7 @@
 package qio
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"os"
@@ -277,6 +278,96 @@ func TestCheckpointConcurrentWrites(t *testing.T) {
 				}
 			}
 		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointReadWhileWrite races resumes against in-progress writes
+// on a single path: a writer alternates between two self-consistent
+// checkpoint versions while readers hammer ReadCheckpoint. Every read
+// must decode a complete checkpoint that is entirely one version or
+// entirely the other — the tmp-file + rename discipline must never
+// expose a torn or partially-written file.
+func TestCheckpointReadWhileWrite(t *testing.T) {
+	// version builds a checkpoint whose every varying field is derived
+	// from v, so a reader can detect any cross-version mixing.
+	version := func(v int) *Checkpoint {
+		ck := testCheckpoint(t)
+		ck.Step = v
+		ck.Energy = -float64(v)
+		for i := range ck.Rho {
+			ck.Rho[i] = float64(v)
+		}
+		ck.Energies = []float64{-float64(v)}
+		ck.Temperatures = []float64{float64(100 * v)}
+		return ck
+	}
+	versions := []*Checkpoint{version(1), version(2)}
+	coherent := func(ck *Checkpoint) error {
+		v := ck.Step
+		if v != 1 && v != 2 {
+			return fmt.Errorf("unknown version step %d", v)
+		}
+		if ck.Energy != -float64(v) {
+			return fmt.Errorf("version %d: energy %v", v, ck.Energy)
+		}
+		for i, r := range ck.Rho {
+			if r != float64(v) {
+				return fmt.Errorf("version %d: rho[%d] = %v (torn density)", v, i, r)
+			}
+		}
+		if len(ck.Energies) != 1 || ck.Energies[0] != -float64(v) ||
+			len(ck.Temperatures) != 1 || ck.Temperatures[0] != float64(100*v) {
+			return fmt.Errorf("version %d: trajectory record %v / %v", v, ck.Energies, ck.Temperatures)
+		}
+		return nil
+	}
+
+	path := filepath.Join(t.TempDir(), "ck.qmd")
+	if _, err := WriteCheckpoint(path, versions[0], CheckpointWriteOptions{DomainsPerAxis: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	const writes = 40
+	stop := make(chan struct{})
+	errs := make(chan error, 5)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 1; i <= writes; i++ {
+			if _, err := WriteCheckpoint(path, versions[i%2], CheckpointWriteOptions{DomainsPerAxis: 2}); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ck, err := ReadCheckpoint(path)
+				if err != nil {
+					errs <- fmt.Errorf("read during write: %w", err)
+					return
+				}
+				if err := coherent(ck); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
 	}
 	wg.Wait()
 	close(errs)
