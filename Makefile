@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt check race bench bench-smoke
+.PHONY: build test vet fmt check race bench bench-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -22,13 +22,21 @@ check: fmt vet test
 # scratch arenas, goroutine pool, collective I/O, parallel SCF assembly,
 # atomic perf counters, pooled pw/pseudo scratch, checkpoint writes:
 # concurrent collective checkpoint I/O during a trajectory, in both
-# internal/qio and the root package). -short skips the full
+# internal/qio and the root package, plus the job manager's worker
+# pool / queue / SSE fan-out in internal/serve). -short skips the full
 # SCF-convergence solves (minutes each under the race detector) while
 # keeping every concurrency path: pool error/panic ordering, parallel
 # SCFStep, collective and checkpoint writes, registry hammering,
-# concurrent Cached3 lookups.
+# concurrent Cached3 lookups, job submission/cancellation races.
 race: vet
-	$(GO) test -race -short . ./internal/fft/... ./internal/pw/... ./internal/pseudo/... ./internal/bsd/... ./internal/qio/... ./internal/core/... ./internal/perf/... ./internal/md/...
+	$(GO) test -race -short . ./internal/fft/... ./internal/pw/... ./internal/pseudo/... ./internal/bsd/... ./internal/qio/... ./internal/core/... ./internal/perf/... ./internal/md/... ./internal/serve/...
+
+# serve-smoke drives the built qmdd daemon end to end over HTTP: start
+# on a random port, submit a tiny 2-atom job and poll it to completion,
+# cancel a second job mid-flight, assert the /metrics counters, then
+# SIGTERM and check the graceful drain. CI runs this on every PR.
+serve-smoke:
+	$(GO) test -run TestQMDDSmoke -count=1 -v ./cmd/qmdd/
 
 bench: bench-fft
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
