@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt check race bench bench-smoke serve-smoke
+.PHONY: build test vet fmt check race bench bench-smoke serve-smoke bench-cache
 
 build:
 	$(GO) build ./...
@@ -27,14 +27,17 @@ check: fmt vet test
 # SCF-convergence solves (minutes each under the race detector) while
 # keeping every concurrency path: pool error/panic ordering, parallel
 # SCFStep, collective and checkpoint writes, registry hammering,
-# concurrent Cached3 lookups, job submission/cancellation races.
+# concurrent Cached3 lookups, job submission/cancellation races, and the
+# warm-start cache's concurrent get/put path.
 race: vet
-	$(GO) test -race -short . ./internal/fft/... ./internal/pw/... ./internal/pseudo/... ./internal/bsd/... ./internal/qio/... ./internal/core/... ./internal/perf/... ./internal/md/... ./internal/serve/...
+	$(GO) test -race -short . ./internal/fft/... ./internal/pw/... ./internal/pseudo/... ./internal/bsd/... ./internal/qio/... ./internal/core/... ./internal/perf/... ./internal/md/... ./internal/serve/... ./internal/cache/...
 
 # serve-smoke drives the built qmdd daemon end to end over HTTP: start
 # on a random port, submit a tiny 2-atom job and poll it to completion,
-# cancel a second job mid-flight, assert the /metrics counters, then
-# SIGTERM and check the graceful drain. CI runs this on every PR.
+# resubmit it and assert the warm-start cache hit in /metrics (no SCF
+# re-entry), cancel a third job mid-flight, assert the /metrics
+# counters, then SIGTERM and check the graceful drain. CI runs this on
+# every PR.
 serve-smoke:
 	$(GO) test -run TestQMDDSmoke -count=1 -v ./cmd/qmdd/
 
@@ -53,3 +56,10 @@ bench-smoke: build
 bench-fft:
 	$(GO) test -run '^$$' -bench 'Benchmark(3DBatch|R3Batch|Plan3|RPlan3|Forward|HartreeFFT|ApplyAll$$|ApplyAllBLAS)' -benchtime 2s ./internal/fft/ ./internal/pw/ | $(GO) run ./cmd/benchjson > BENCH_fft.json
 	@cat BENCH_fft.json
+
+# bench-cache benchmarks the warm-start cache hot paths (put, exact and
+# near lookup, entry codec) and records the machine-readable results in
+# BENCH_cache.json.
+bench-cache:
+	$(GO) test -run '^$$' -bench 'Benchmark(Cache|EntryCodec)' -benchtime 2s ./internal/cache/ | $(GO) run ./cmd/benchjson > BENCH_cache.json
+	@cat BENCH_cache.json

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"ldcdft/internal/cache"
 	"ldcdft/internal/geom"
 	"ldcdft/internal/grid"
 	"ldcdft/internal/md"
@@ -42,6 +43,11 @@ type QMDOptions struct {
 	// layers use for live progress streams. It runs synchronously on
 	// the trajectory goroutine.
 	OnStep func(step int, energyHa, tempK float64)
+
+	// Cache, when non-nil, is the SCF warm-start cache consulted before
+	// every force evaluation and populated after every solve (see
+	// DFTForceField.Cache). Safe to share across concurrent trajectories.
+	Cache *cache.Cache
 }
 
 // RunQMDOpts is RunQMD with trajectory options: every CheckpointEvery
@@ -49,7 +55,7 @@ type QMDOptions struct {
 // converged SCF density, and the accumulated per-step record — is
 // written through the collective I/O path of internal/qio.
 func RunQMDOpts(sys *System, cfg LDCConfig, steps int, dtFs float64, opts QMDOptions) (*QMDResult, error) {
-	ff := &DFTForceField{Cfg: cfg}
+	ff := &DFTForceField{Cfg: cfg, Cache: opts.Cache}
 	in := md.NewIntegrator(ff, dtFs)
 	return runTrajectory(sys.Clone(), cfg, steps, 0, in, ff, &QMDResult{}, opts)
 }
@@ -73,7 +79,7 @@ func ResumeQMD(path string, cfg LDCConfig, steps int, dtFs float64, opts QMDOpti
 	if dtFs == 0 {
 		dtFs = ck.DtFs
 	}
-	ff := &DFTForceField{Cfg: cfg}
+	ff := &DFTForceField{Cfg: cfg, Cache: opts.Cache}
 	if ck.GridN > 0 {
 		if cfg.GridN != ck.GridN {
 			return nil, fmt.Errorf("qmd: resume: checkpoint density grid %d³ does not match configured grid %d³",

@@ -21,21 +21,34 @@ import (
 	"time"
 
 	qmd "ldcdft"
+	"ldcdft/internal/cache"
 	"ldcdft/internal/perf"
 	"ldcdft/internal/qio"
 )
 
 // validateFlags rejects flag combinations that would otherwise be
 // silently ignored: checkpoint tuning without a checkpoint destination,
-// and resuming from a checkpoint that does not exist. explicit holds
-// the flags the user actually set.
-func validateFlags(resume, ckPath string) {
+// cache tuning without a cache directory, and resuming from a
+// checkpoint that does not exist. explicit holds the flags the user
+// actually set.
+func validateFlags(resume, ckPath, cacheDir string, cacheBytes int64, cacheTol float64) {
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	for _, name := range []string{"checkpoint-every", "checkpoint-group"} {
 		if explicit[name] && ckPath == "" {
 			log.Fatalf("-%s has no effect without -checkpoint", name)
 		}
+	}
+	for _, name := range []string{"cache-bytes", "cache-tol"} {
+		if explicit[name] && cacheDir == "" {
+			log.Fatalf("-%s has no effect without -cache-dir", name)
+		}
+	}
+	if cacheBytes < 0 {
+		log.Fatalf("-cache-bytes must be non-negative, got %d", cacheBytes)
+	}
+	if cacheTol < 0 {
+		log.Fatalf("-cache-tol must be non-negative, got %g", cacheTol)
 	}
 	if resume != "" {
 		if _, err := os.Stat(resume); err != nil {
@@ -66,9 +79,13 @@ func main() {
 		doPerf  = flag.Bool("perf", false, "print the per-phase performance report after the run")
 		perfJS  = flag.String("perf-json", "", "write the per-phase report as JSON to this file")
 		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+
+		cacheDir   = flag.String("cache-dir", "", "SCF warm-start cache directory (empty = no cache)")
+		cacheBytes = flag.Int64("cache-bytes", 256<<20, "warm-start cache byte budget")
+		cacheTol   = flag.Float64("cache-tol", 0.25, "near-hit tolerance: max per-atom displacement (Bohr)")
 	)
 	flag.Parse()
-	validateFlags(*resume, *ckPath)
+	validateFlags(*resume, *ckPath, *cacheDir, *cacheBytes, *cacheTol)
 
 	stopProf, err := perf.StartCPUProfile(*cpuProf)
 	if err != nil {
@@ -110,6 +127,13 @@ func main() {
 	}
 	if *ckPath == "" {
 		opts.CheckpointEvery = 0
+	}
+	if *cacheDir != "" {
+		wsc, err := cache.Open(cache.Options{Dir: *cacheDir, MaxBytes: *cacheBytes, NearTol: *cacheTol})
+		if err != nil {
+			log.Fatalf("%v", err)
+		}
+		opts.Cache = wsc
 	}
 
 	var res *qmd.QMDResult
@@ -153,6 +177,11 @@ func main() {
 	}
 	fmt.Printf("total SCF iterations: %d (%.1f per MD step)\n",
 		res.SCFIterations, float64(res.SCFIterations)/float64(res.Steps))
+	if opts.Cache != nil {
+		st := opts.Cache.Stats()
+		fmt.Printf("warm-start cache: %d exact hits, %d near hits, %d misses, %d SCF iterations saved (%d entries, %d bytes)\n",
+			st.Hits, st.NearHits, st.Misses, st.SCFIterationsSaved, st.Entries, st.Bytes)
+	}
 
 	if *doPerf {
 		fmt.Printf("\nper-phase performance report (wall %s):\n", perf.Default.Wall().Round(time.Millisecond))

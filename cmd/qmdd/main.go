@@ -5,6 +5,11 @@
 // drains gracefully on SIGTERM/SIGINT — checkpointing running jobs so a
 // restarted daemon resumes them where they stopped.
 //
+// Jobs share a content-addressed SCF warm-start cache (qmdd_cache_*
+// on /metrics): resubmitting an identical structure skips its SCF
+// solves entirely, and near-duplicate structures start from the nearest
+// cached density. Disable with -cache-bytes 0.
+//
 // Usage:
 //
 //	qmdd -addr 127.0.0.1:8432 -data ./qmdd-data -workers 2 -queue-cap 16
@@ -24,9 +29,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
+	"ldcdft/internal/cache"
 	"ldcdft/internal/serve"
 )
 
@@ -36,22 +43,50 @@ func main() {
 	workers := flag.Int("workers", 2, "concurrent trajectory workers")
 	queueCap := flag.Int("queue-cap", 16, "pending-queue capacity (excess submissions get 429)")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown budget for checkpointing running jobs")
+	cacheDir := flag.String("cache-dir", "", "SCF warm-start cache directory (default <data>/cache)")
+	cacheBytes := flag.Int64("cache-bytes", 256<<20, "warm-start cache byte budget (0 disables the cache)")
+	cacheTol := flag.Float64("cache-tol", 0.25, "near-hit tolerance: max per-atom displacement (Bohr) at which a cached density seeds SCF")
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("qmdd: ")
 	if flag.NArg() != 0 {
 		log.Fatalf("unexpected arguments: %v", flag.Args())
 	}
-	if err := run(*addr, *data, *workers, *queueCap, *drainTimeout); err != nil {
+	if *cacheBytes < 0 {
+		log.Fatalf("-cache-bytes must be non-negative, got %d", *cacheBytes)
+	}
+	if *cacheTol < 0 {
+		log.Fatalf("-cache-tol must be non-negative, got %g", *cacheTol)
+	}
+	if err := run(*addr, *data, *workers, *queueCap, *drainTimeout,
+		*cacheDir, *cacheBytes, *cacheTol); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, data string, workers, queueCap int, drainTimeout time.Duration) error {
+func run(addr, data string, workers, queueCap int, drainTimeout time.Duration,
+	cacheDir string, cacheBytes int64, cacheTol float64) error {
+	var wsc *cache.Cache
+	if cacheBytes > 0 {
+		if cacheDir == "" {
+			cacheDir = filepath.Join(data, "cache")
+		}
+		var err error
+		wsc, err = cache.Open(cache.Options{Dir: cacheDir, MaxBytes: cacheBytes, NearTol: cacheTol})
+		if err != nil {
+			return err
+		}
+		st := wsc.Stats()
+		log.Printf("warm-start cache at %s (budget %d bytes, near tolerance %g Bohr, %d entries recovered)",
+			cacheDir, cacheBytes, cacheTol, st.Entries)
+	} else {
+		log.Printf("warm-start cache disabled")
+	}
 	mgr, err := serve.NewManager(serve.Config{
 		DataDir:  data,
 		Workers:  workers,
 		QueueCap: queueCap,
+		Cache:    wsc,
 		Logf:     log.Printf,
 	})
 	if err != nil {

@@ -18,9 +18,10 @@ import (
 
 // TestQMDDSmoke exercises the built daemon binary end to end: start on
 // a random port, submit a tiny 2-atom job over HTTP and poll it to
-// completion, cancel a second job mid-flight, check the /metrics
-// counters, and shut the daemon down with SIGTERM. `make serve-smoke`
-// runs exactly this test.
+// completion, resubmit it and verify the warm-start cache serves it
+// without re-entering the SCF loop, cancel a third job mid-flight,
+// check the /metrics counters, and shut the daemon down with SIGTERM.
+// `make serve-smoke` runs exactly this test.
 func TestQMDDSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and runs the daemon binary")
@@ -127,7 +128,57 @@ func TestQMDDSmoke(t *testing.T) {
 		t.Fatalf("completed job energies: %v", fin["energies_ha"])
 	}
 
-	// Second job is cancelled mid-flight.
+	// An identical resubmission is served from the warm-start cache: its
+	// trajectory is bitwise the first job's, and the daemon never enters
+	// the SCF loop again (the scf/domain-solves phase call counter is
+	// frozen between the two completions).
+	phaseCallsRe := regexp.MustCompile(`qmd_phase_calls_total\{phase="scf/domain-solves"\} (\S+)`)
+	phaseCalls := func() string {
+		t.Helper()
+		_, metrics := get("/metrics")
+		m := phaseCallsRe.FindStringSubmatch(metrics)
+		if m == nil {
+			t.Fatalf("metrics missing scf/domain-solves phase calls:\n%s", metrics)
+		}
+		return m[1]
+	}
+	callsAfterCold := phaseCalls()
+	code, stHit := submit(spec("smoke-again", 2))
+	if code != http.StatusCreated {
+		t.Fatalf("resubmit: %d %v", code, stHit)
+	}
+	finHit := waitFor(stHit["id"].(string),
+		func(st map[string]any) bool { return st["status"] == "completed" }, "cached completion")
+	if got := phaseCalls(); got != callsAfterCold {
+		t.Fatalf("cached resubmission entered the SCF loop: domain-solves calls %s → %s", callsAfterCold, got)
+	}
+	hitEnergies, ok := finHit["energies_ha"].([]any)
+	if !ok || len(hitEnergies) != 2 {
+		t.Fatalf("cached job energies: %v", finHit["energies_ha"])
+	}
+	for i, e := range fin["energies_ha"].([]any) {
+		if hitEnergies[i] != e {
+			t.Fatalf("cached step %d energy %v != original %v", i+1, hitEnergies[i], e)
+		}
+	}
+	_, metrics := get("/metrics")
+	// 2 MD steps = 3 force evaluations (initial + one per step): the cold
+	// job missed 3 times, the identical rerun hit 3 times.
+	for _, frag := range []string{
+		"qmdd_cache_hits_total 3",
+		"qmdd_cache_misses_total 3",
+		"qmdd_cache_near_hits_total 0",
+	} {
+		if !strings.Contains(metrics, frag) {
+			t.Fatalf("cache metrics missing %q:\n%s", frag, metrics)
+		}
+	}
+	savedRe := regexp.MustCompile(`qmdd_cache_scf_iterations_saved_total (\d+)`)
+	if m := savedRe.FindStringSubmatch(metrics); m == nil || m[1] == "0" {
+		t.Fatalf("no SCF iterations saved after an exact-hit rerun:\n%s", metrics)
+	}
+
+	// Third job is cancelled mid-flight.
 	code, st2 := submit(spec("cancelme", 50))
 	if code != http.StatusCreated {
 		t.Fatalf("submit 2: %d %v", code, st2)
@@ -147,11 +198,11 @@ func TestQMDDSmoke(t *testing.T) {
 	}
 	waitFor(id2, func(st map[string]any) bool { return st["status"] == "cancelled" }, "cancellation")
 
-	// Metrics reflect one completed, one cancelled job.
-	_, metrics := get("/metrics")
+	// Metrics reflect two completed jobs and one cancelled job.
+	_, metrics = get("/metrics")
 	for _, frag := range []string{
-		"qmdd_jobs_submitted_total 2",
-		"qmdd_jobs_completed_total 1",
+		"qmdd_jobs_submitted_total 3",
+		"qmdd_jobs_completed_total 2",
 		"qmdd_jobs_cancelled_total 1",
 		"qmdd_jobs_running 0",
 		"qmd_phase_busy_seconds_total{phase=\"scf/domain-solves\"}",

@@ -1,0 +1,98 @@
+package cache
+
+import (
+	"testing"
+
+	"ldcdft/internal/atoms"
+)
+
+// benchFixture pre-populates a cache with nEntries distinct structures
+// sharing one family, so lookups exercise both the exact index and the
+// near-neighbor scan.
+func benchFixture(b *testing.B, nEntries int) (*Cache, []*atoms.System) {
+	b.Helper()
+	c, err := Open(Options{Dir: b.TempDir(), MaxBytes: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	systems := make([]*atoms.System, nEntries)
+	for i := range systems {
+		sys := testSystem(1)
+		for j := range sys.Atoms {
+			sys.Atoms[j].Position.X += float64(i) // distinct, > NearTol apart
+		}
+		systems[i] = sys
+		if err := c.Put(sys, tag, testResult(sys, 12, 10, int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return c, systems
+}
+
+func BenchmarkCachePut(b *testing.B) {
+	c, err := Open(Options{Dir: b.TempDir(), MaxBytes: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := testSystem(1)
+	res := testResult(sys, 12, 10, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Atoms[0].Position.X += 1e-3 // new key each iteration
+		if err := c.Put(sys, tag, res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCacheLookupExact(b *testing.B) {
+	c, systems := benchFixture(b, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, tier := c.Lookup(systems[i%len(systems)], tag, false); tier != TierExact {
+			b.Fatalf("tier %v", tier)
+		}
+	}
+}
+
+func BenchmarkCacheLookupNear(b *testing.B) {
+	c, systems := benchFixture(b, 16)
+	probe := testSystem(1)
+	for j := range probe.Atoms {
+		probe.Atoms[j].Position.X += 0.1
+	}
+	_ = systems
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, tier := c.Lookup(probe, tag, true); tier != TierNear {
+			b.Fatalf("tier %v", tier)
+		}
+	}
+}
+
+func BenchmarkEntryCodec(b *testing.B) {
+	sys := testSystem(1)
+	res := testResult(sys, 24, 10, 1)
+	d := &entryData{
+		CfgTag: tag, CellL: sys.Cell.L, EnergyHa: res.EnergyHa,
+		SCFIterations: res.SCFIterations,
+		Symbols:       []string{"H", "Si"},
+		Spec:          []uint8{0, 1, 0, 1},
+		GridN:         24, Rho: res.Rho.Data,
+	}
+	for _, a := range sys.Atoms {
+		d.Pos = append(d.Pos, a.Position)
+	}
+	d.Force = res.Forces
+	raw, err := encodeEntry(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := decodeEntry(raw, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -20,12 +20,15 @@ import (
 // of the Global counter (the 72.5% non-vectorized hot spot of §4.2).
 var phPoisson = perf.GetPhase("multigrid/poisson")
 
-// Options configures the solver.
+// Options configures the solver. PreSmooth and PostSmooth use a
+// negative-means-zero sentinel so both "default" and "explicitly no
+// sweeps" are representable: 0 selects the default of 3 sweeps, any
+// negative value selects zero sweeps.
 type Options struct {
 	Tol        float64 // max-norm residual tolerance relative to |f|; default 1e-8
 	MaxCycles  int     // maximum V-cycles; default 60
-	PreSmooth  int     // pre-smoothing sweeps; default 3
-	PostSmooth int     // post-smoothing sweeps; default 3
+	PreSmooth  int     // pre-smoothing sweeps; 0 = default 3, negative = none
+	PostSmooth int     // post-smoothing sweeps; 0 = default 3, negative = none
 	CoarseN    int     // coarsest level size; default 4 (or the smallest even divisor chain end)
 }
 
@@ -36,11 +39,17 @@ func (o *Options) setDefaults() {
 	if o.MaxCycles == 0 {
 		o.MaxCycles = 60
 	}
-	if o.PreSmooth == 0 {
+	switch {
+	case o.PreSmooth == 0:
 		o.PreSmooth = 3
+	case o.PreSmooth < 0:
+		o.PreSmooth = 0
 	}
-	if o.PostSmooth == 0 {
+	switch {
+	case o.PostSmooth == 0:
 		o.PostSmooth = 3
+	case o.PostSmooth < 0:
+		o.PostSmooth = 0
 	}
 	if o.CoarseN == 0 {
 		o.CoarseN = 4
@@ -97,9 +106,6 @@ func NewSolver(g grid.Grid, opts Options) (*Solver, error) {
 		}
 		n /= 2
 		h *= 2
-	}
-	if len(s.levels) == 0 {
-		return nil, fmt.Errorf("multigrid: cannot build hierarchy for N=%d", g.N)
 	}
 	// Operation-count model of one V-cycle: ~8 ops per point per smoothing
 	// sweep, 9 per residual point, 2 per mean subtraction, 54 per coarse

@@ -149,9 +149,35 @@ func (s Status) Terminal() bool {
 	return s == StatusCompleted || s == StatusFailed || s == StatusCancelled
 }
 
+// StateSeriesTail bounds the per-step EnergiesHa/TemperaturesK series a
+// JobState carries (and GET /v1/jobs clones per request): only the most
+// recent StateSeriesTail samples are kept. The full series lives in the
+// SSE step stream and the trajectory checkpoint.
+const StateSeriesTail = 256
+
+// appendBounded appends v to s, sliding the window so at most
+// StateSeriesTail samples are retained.
+func appendBounded(s []float64, v float64) []float64 {
+	s = append(s, v)
+	if len(s) > StateSeriesTail {
+		s = append(s[:0], s[len(s)-StateSeriesTail:]...)
+	}
+	return s
+}
+
+// boundedTail returns the last StateSeriesTail samples of s (a copy when
+// trimmed, s itself otherwise).
+func boundedTail(s []float64) []float64 {
+	if len(s) <= StateSeriesTail {
+		return s
+	}
+	return append([]float64(nil), s[len(s)-StateSeriesTail:]...)
+}
+
 // JobState is the mutable lifecycle record of a job — the body of
 // GET /v1/jobs/{id} and the state.json artifact. Per-step energies and
-// temperatures accumulate as the trajectory advances.
+// temperatures accumulate as the trajectory advances, bounded to the
+// most recent StateSeriesTail samples.
 type JobState struct {
 	ID       string `json:"id"`
 	Name     string `json:"name,omitempty"`

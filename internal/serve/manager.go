@@ -5,11 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"ldcdft/internal/cache"
 	"ldcdft/internal/qio"
 )
 
@@ -46,6 +48,11 @@ type Config struct {
 	Workers int
 	// Runner executes trajectories; nil = QMDRunner (the real engine).
 	Runner Runner
+	// Cache, when non-nil, is the SCF warm-start cache shared by every
+	// job the default QMDRunner executes; its counters are exported as
+	// qmdd_cache_* on /metrics. Ignored by custom Runners (pass the
+	// cache to them directly).
+	Cache *cache.Cache
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -71,6 +78,7 @@ type Manager struct {
 	cfg    Config
 	root   *qio.JobRoot
 	runner Runner
+	cache  *cache.Cache
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -100,7 +108,7 @@ func NewManager(cfg Config) (*Manager, error) {
 		cfg.Workers = 2
 	}
 	if cfg.Runner == nil {
-		cfg.Runner = QMDRunner{}
+		cfg.Runner = QMDRunner{Cache: cfg.Cache}
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
@@ -113,6 +121,7 @@ func NewManager(cfg Config) (*Manager, error) {
 		cfg:    cfg,
 		root:   root,
 		runner: cfg.Runner,
+		cache:  cfg.Cache,
 		jobs:   make(map[string]*job),
 	}
 	m.cond = sync.NewCond(&m.mu)
@@ -141,6 +150,15 @@ func (m *Manager) recover() error {
 			return err
 		}
 		j := &job{id: id, dir: dir, queueIdx: -1, subs: make(map[chan Event]struct{})}
+		// Advance the ID sequence past every directory — including ones
+		// skipped below for unreadable specs — so a later Submit can never
+		// mint a colliding ID and silently overwrite a job's directory.
+		if n, ok := seqOfID(id); ok {
+			j.seq = n
+			if n > m.seq {
+				m.seq = n
+			}
+		}
 		if err := qio.ReadJSONFile(filepath.Join(dir, qio.JobSpecFile), &j.spec); err != nil {
 			m.cfg.Logf("serve: skipping job %s: unreadable spec: %v", id, err)
 			continue
@@ -149,12 +167,6 @@ func (m *Manager) recover() error {
 			// Crash between spec and state writes: treat as freshly queued.
 			j.state = JobState{ID: id, Name: j.spec.Name, Status: StatusQueued,
 				Priority: j.spec.Priority, Steps: j.spec.Steps}
-		}
-		if n, ok := seqOfID(id); ok {
-			j.seq = n
-			if n > m.seq {
-				m.seq = n
-			}
 		}
 		m.jobs[id] = j
 		if !j.state.Status.Terminal() {
@@ -244,11 +256,7 @@ func (m *Manager) List() []*JobState {
 		out = append(out, j.state.clone())
 	}
 	// Admission order == seq order == lexical ID order for generated IDs.
-	for i := 1; i < len(out); i++ {
-		for k := i; k > 0 && out[k].ID < out[k-1].ID; k-- {
-			out[k], out[k-1] = out[k-1], out[k]
-		}
-	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
 	return out
 }
 
@@ -391,8 +399,8 @@ func (m *Manager) onStep(j *job, step int, energyHa, tempK float64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	j.state.StepsDone = step
-	j.state.EnergiesHa = append(j.state.EnergiesHa, energyHa)
-	j.state.TemperaturesK = append(j.state.TemperaturesK, tempK)
+	j.state.EnergiesHa = appendBounded(j.state.EnergiesHa, energyHa)
+	j.state.TemperaturesK = appendBounded(j.state.TemperaturesK, tempK)
 	m.broadcast(j, Event{Type: "step", Status: StatusRunning, Step: step, EnergyHa: energyHa, TempK: tempK})
 }
 
@@ -409,8 +417,8 @@ func (m *Manager) finish(j *job, ctx context.Context, rep RunReport, err error) 
 	if rep.Steps > 0 {
 		j.state.StepsDone = rep.Steps
 		j.state.SCFIterations = rep.SCFIterations
-		j.state.EnergiesHa = rep.EnergiesHa
-		j.state.TemperaturesK = rep.TemperaturesK
+		j.state.EnergiesHa = boundedTail(rep.EnergiesHa)
+		j.state.TemperaturesK = boundedTail(rep.TemperaturesK)
 	}
 	cause := context.Cause(ctx)
 	switch {

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 )
@@ -361,5 +363,88 @@ func TestSubmitValidation(t *testing.T) {
 	}
 	if c := m.Stats(); c.Submitted != 0 {
 		t.Fatalf("invalid specs counted as submitted: %+v", c)
+	}
+}
+
+// A job directory whose spec is unreadable must still advance the ID
+// sequence on recovery; otherwise the next Submit mints the same ID and
+// silently overwrites the skipped job's directory.
+func TestRecoverAdvancesSeqPastCorruptSpec(t *testing.T) {
+	dir := t.TempDir()
+	corrupt := filepath.Join(dir, "jobs", "j00000001")
+	if err := os.MkdirAll(corrupt, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	specPath := filepath.Join(corrupt, "spec.json")
+	if err := os.WriteFile(specPath, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m := newTestManager(t, dir, 1, 4, &fakeRunner{})
+	defer shutdown(t, m)
+	st, err := m.Submit(validSpec("fresh", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "j00000002" {
+		t.Fatalf("submitted job got ID %s, want j00000002 (must not collide with the skipped dir)", st.ID)
+	}
+	// The skipped directory is untouched — its (corrupt) spec survives
+	// for operator inspection.
+	raw, err := os.ReadFile(specPath)
+	if err != nil || string(raw) != "{not json" {
+		t.Fatalf("skipped job's spec was overwritten: %q, %v", raw, err)
+	}
+}
+
+// Per-step series in JobState are bounded to StateSeriesTail samples,
+// both while streaming (onStep) and from the final RunReport.
+func TestStateSeriesBoundedTail(t *testing.T) {
+	m := newTestManager(t, t.TempDir(), 1, 4, &fakeRunner{})
+	defer shutdown(t, m)
+	steps := StateSeriesTail + 50
+	st, err := m.Submit(validSpec("long", steps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitStatus(t, m, st.ID, StatusCompleted)
+	if fin.StepsDone != steps {
+		t.Fatalf("steps done %d, want %d", fin.StepsDone, steps)
+	}
+	if len(fin.EnergiesHa) != StateSeriesTail || len(fin.TemperaturesK) != StateSeriesTail {
+		t.Fatalf("series lengths %d/%d, want the bounded tail %d",
+			len(fin.EnergiesHa), len(fin.TemperaturesK), StateSeriesTail)
+	}
+	// The tail is the most recent window: the fake runner emits -1..-steps.
+	if got, want := fin.EnergiesHa[len(fin.EnergiesHa)-1], -float64(steps); got != want {
+		t.Fatalf("last energy %g, want %g", got, want)
+	}
+	if got, want := fin.EnergiesHa[0], -float64(steps-StateSeriesTail+1); got != want {
+		t.Fatalf("first retained energy %g, want %g", got, want)
+	}
+}
+
+// List returns jobs in admission (ID) order regardless of map iteration.
+func TestListAdmissionOrder(t *testing.T) {
+	gate := make(chan struct{})
+	r := &fakeRunner{gate: map[string]chan struct{}{}}
+	for _, n := range []string{"a", "b", "c", "d", "e"} {
+		r.gate[n] = gate
+	}
+	m := newTestManager(t, t.TempDir(), 1, 8, r)
+	defer shutdown(t, m)
+	defer close(gate)
+	for _, n := range []string{"a", "b", "c", "d", "e"} {
+		if _, err := m.Submit(validSpec(n, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	list := m.List()
+	if len(list) != 5 {
+		t.Fatalf("%d jobs listed, want 5", len(list))
+	}
+	for i := 1; i < len(list); i++ {
+		if list[i-1].ID >= list[i].ID {
+			t.Fatalf("list out of admission order: %s before %s", list[i-1].ID, list[i].ID)
+		}
 	}
 }

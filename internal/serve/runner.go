@@ -5,6 +5,7 @@ import (
 	"os"
 
 	qmd "ldcdft"
+	"ldcdft/internal/cache"
 )
 
 // RunReport is what a Runner hands back for a finished (or interrupted)
@@ -32,10 +33,14 @@ type Runner interface {
 
 // QMDRunner runs jobs through the real LDC-DFT trajectory driver
 // (qmd.RunQMDOpts / qmd.ResumeQMD).
-type QMDRunner struct{}
+type QMDRunner struct {
+	// Cache, when non-nil, is the shared SCF warm-start cache handed to
+	// every trajectory (see qmd.QMDOptions.Cache).
+	Cache *cache.Cache
+}
 
 // Run implements Runner.
-func (QMDRunner) Run(ctx context.Context, spec JobSpec, ckPath string,
+func (r QMDRunner) Run(ctx context.Context, spec JobSpec, ckPath string,
 	onStep func(step int, energyHa, tempK float64)) (RunReport, error) {
 	every := spec.CheckpointEvery
 	if every == 0 {
@@ -46,6 +51,7 @@ func (QMDRunner) Run(ctx context.Context, spec JobSpec, ckPath string,
 		CheckpointEvery: every,
 		Ctx:             ctx,
 		OnStep:          onStep,
+		Cache:           r.Cache,
 	}
 	var res *qmd.QMDResult
 	var err error

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"ldcdft/internal/atoms"
+	"ldcdft/internal/cache"
 	"ldcdft/internal/core"
 	"ldcdft/internal/geom"
 	"ldcdft/internal/grid"
@@ -118,15 +119,62 @@ type DFTForceField struct {
 	// the context's cancellation cause (see core.Engine.SolveCtx).
 	Ctx context.Context
 
+	// Cache, when non-nil, is consulted before every SCF solve: an exact
+	// hit returns the stored energy/forces/density without solving, and a
+	// near miss seeds the SCF from the nearest cached density when no
+	// previous-step density is available. Every completed solve is stored
+	// back (best-effort — a cache write failure never fails the solve).
+	Cache *cache.Cache
+
 	prevRho *grid.Field
-	// LastSCFIters reports the SCF iterations of the latest evaluation.
+	// LastSCFIters reports the SCF iterations of the latest evaluation
+	// (0 when an exact cache hit skipped the solve).
 	LastSCFIters int
-	// LastEngine exposes the most recent engine (density, μ, …).
+	// LastEngine exposes the most recent engine (density, μ, …); nil when
+	// an exact cache hit skipped the engine build.
 	LastEngine *LDCEngine
+	// LastCacheTier reports how the cache served the latest evaluation
+	// (cache.TierMiss when no cache is configured).
+	LastCacheTier cache.Tier
+
+	cfgTag    string
+	seedIters int // stored cost of the near-miss seed, for savings accounting
+}
+
+// tag returns the cache configuration tag: every physics-relevant Config
+// field, excluding scheduling-only Workers, so runs that differ only in
+// parallelism share cache entries.
+func (f *DFTForceField) tag() string {
+	if f.cfgTag == "" {
+		c := f.Cfg
+		f.cfgTag = fmt.Sprintf("ldc1|g%d d%d b%d e%g m%d x%g kt%g mix%g and%t pul%t scf%d et%g dt%g ei%d bb%t s%d",
+			c.GridN, c.DomainsPerAxis, c.BufN, c.Ecut, c.Mode, c.Xi, c.KT,
+			c.MixAlpha, c.Anderson, c.Pulay, c.MaxSCF, c.EnergyTol, c.DensityTol,
+			c.EigenIters, c.BandByBand, c.Seed)
+	}
+	return f.cfgTag
 }
 
 // Compute implements ForceField.
 func (f *DFTForceField) Compute(sys *System) (float64, []Vec3, error) {
+	f.LastCacheTier = cache.TierMiss
+	if f.Cache != nil {
+		// A near-miss seed is only worth decoding when there is no
+		// previous-step density — mid-trajectory the integrator's own
+		// density is the better (and free) warm start.
+		res, tier := f.Cache.Lookup(sys, f.tag(), f.prevRho == nil)
+		f.LastCacheTier = tier
+		switch tier {
+		case cache.TierExact:
+			f.prevRho = res.Rho
+			f.LastSCFIters = 0
+			f.LastEngine = nil
+			return res.EnergyHa, res.Forces, nil
+		case cache.TierNear:
+			f.prevRho = res.Rho
+			f.seedIters = res.SCFIterations
+		}
+	}
 	eng, err := core.NewEngine(sys, f.Cfg)
 	if err != nil {
 		return 0, nil, fmt.Errorf("qmd: engine rebuild: %w", err)
@@ -150,6 +198,18 @@ func (f *DFTForceField) Compute(sys *System) (float64, []Vec3, error) {
 	forces, err := eng.Forces()
 	if err != nil {
 		return 0, nil, err
+	}
+	if f.Cache != nil {
+		f.Cache.Put(sys, f.tag(), &cache.Result{
+			EnergyHa:      res.Energy,
+			Forces:        forces,
+			SCFIterations: res.Iterations,
+			Rho:           f.prevRho,
+		})
+		if f.seedIters > 0 {
+			f.Cache.AddIterationsSaved(int64(f.seedIters - res.Iterations))
+			f.seedIters = 0
+		}
 	}
 	return res.Energy, forces, nil
 }

@@ -1,0 +1,150 @@
+package qmd
+
+import (
+	"testing"
+
+	"ldcdft/internal/cache"
+	"ldcdft/internal/geom"
+	"ldcdft/internal/perf"
+)
+
+// h2System is the smoke-test workload: two hydrogen atoms in a small
+// cell, cheap enough for repeated full trajectories.
+func h2System() *System {
+	return &System{
+		Cell: Cell{L: 8},
+		Atoms: []Atom{
+			{Species: Hydrogen, Position: geom.Vec3{X: 3.3, Y: 4, Z: 4}},
+			{Species: Hydrogen, Position: geom.Vec3{X: 4.7, Y: 4, Z: 4}},
+		},
+	}
+}
+
+func h2Config() LDCConfig {
+	return LDCConfig{
+		GridN: 12, DomainsPerAxis: 1, Ecut: 4.0,
+		KT: 0.05, MixAlpha: 0.3, Anderson: true, MaxSCF: 80,
+		EigenIters: 4, Seed: 1, EnergyTol: 1e-5, DensityTol: 1e-4,
+	}
+}
+
+// An identical resubmission must be served entirely from the cache: the
+// SCF loop (the scf/domain-solves perf phase) is never entered, and the
+// trajectory is bitwise identical to the first run's.
+func TestCacheExactHitServesWithoutSCF(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full SCF solves")
+	}
+	c, err := cache.Open(cache.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps = 2
+	opts := QMDOptions{Cache: c}
+
+	res1, err := RunQMDOpts(h2System(), h2Config(), steps, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.SCFIterations == 0 {
+		t.Fatal("cold run reported no SCF iterations")
+	}
+	st := c.Stats()
+	// steps+1 force evaluations (initial forces + one per step), all misses.
+	if st.Misses != steps+1 || st.Hits != 0 {
+		t.Fatalf("cold-run stats %+v, want %d misses", st, steps+1)
+	}
+
+	solves := perf.GetPhase("scf/domain-solves").Calls()
+	res2, err := RunQMDOpts(h2System(), h2Config(), steps, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := perf.GetPhase("scf/domain-solves").Calls(); got != solves {
+		t.Fatalf("exact-hit rerun entered the SCF loop: domain-solves calls %d → %d", solves, got)
+	}
+	if res2.SCFIterations != 0 {
+		t.Fatalf("exact-hit rerun reported %d SCF iterations, want 0", res2.SCFIterations)
+	}
+	for i := range res1.Energies {
+		if res2.Energies[i] != res1.Energies[i] {
+			t.Fatalf("step %d energy %v != %v", i+1, res2.Energies[i], res1.Energies[i])
+		}
+		if res2.Temperatures[i] != res1.Temperatures[i] {
+			t.Fatalf("step %d temperature %v != %v", i+1, res2.Temperatures[i], res1.Temperatures[i])
+		}
+	}
+	st = c.Stats()
+	if st.Hits != steps+1 {
+		t.Fatalf("rerun stats %+v, want %d exact hits", st, steps+1)
+	}
+	// Savings cover every stored solve, including the integrator's
+	// priming force evaluation that QMDResult.SCFIterations omits.
+	if st.SCFIterationsSaved < int64(res1.SCFIterations) {
+		t.Fatalf("iterations saved %d, want at least the cold run's recorded cost %d",
+			st.SCFIterationsSaved, res1.SCFIterations)
+	}
+}
+
+// A perturbed structure within the near tolerance starts SCF from the
+// nearest cached density and must converge in fewer iterations than a
+// cold start. This is the measured-savings reference: the 8-atom SiC
+// cell perturbed by 0.01 Bohr at production tolerances (the seed's
+// value shows once density convergence, not the per-cycle eigensolver,
+// is the bottleneck — loose tolerances converge before the density
+// guess matters).
+func TestCacheNearMissReducesSCFIterations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full SCF solves")
+	}
+	c, err := cache.Open(cache.Options{Dir: t.TempDir(), NearTol: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := LDCConfig{
+		GridN: 24, DomainsPerAxis: 2, BufN: 3, Ecut: 4.0,
+		KT: 0.05, MixAlpha: 0.3, Anderson: true, MaxSCF: 200,
+		EigenIters: 4, Seed: 1, EnergyTol: 1e-6, DensityTol: 1e-5,
+	}
+	seedFF := &DFTForceField{Cfg: cfg, Cache: c}
+	if _, _, err := seedFF.Compute(BuildSiC(1)); err != nil {
+		t.Fatal(err)
+	}
+	if seedFF.LastCacheTier != cache.TierMiss {
+		t.Fatalf("first solve tier %v, want miss", seedFF.LastCacheTier)
+	}
+
+	perturbed := func() *System {
+		sys := BuildSiC(1)
+		for i := range sys.Atoms {
+			sys.Atoms[i].Position.X += 0.01
+		}
+		return sys
+	}
+
+	cold := &DFTForceField{Cfg: cfg}
+	if _, _, err := cold.Compute(perturbed()); err != nil {
+		t.Fatal(err)
+	}
+	warm := &DFTForceField{Cfg: cfg, Cache: c}
+	if _, _, err := warm.Compute(perturbed()); err != nil {
+		t.Fatal(err)
+	}
+	if warm.LastCacheTier != cache.TierNear {
+		t.Fatalf("perturbed solve tier %v, want near", warm.LastCacheTier)
+	}
+	if warm.LastSCFIters >= cold.LastSCFIters {
+		t.Fatalf("near-miss warm start took %d SCF iterations, cold start %d — no savings",
+			warm.LastSCFIters, cold.LastSCFIters)
+	}
+	t.Logf("near-miss warm start: %d SCF iterations vs %d cold (%.0f%% saved)",
+		warm.LastSCFIters, cold.LastSCFIters,
+		100*float64(cold.LastSCFIters-warm.LastSCFIters)/float64(cold.LastSCFIters))
+
+	if st := c.Stats(); st.NearHits != 1 {
+		t.Fatalf("stats %+v, want 1 near hit", st)
+	}
+	if saved := c.Stats().SCFIterationsSaved; saved <= 0 {
+		t.Fatalf("iterations-saved counter %d after a helpful seed", saved)
+	}
+}
