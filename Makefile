@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt check race bench bench-smoke serve-smoke bench-cache
+.PHONY: build test vet fmt check race bench bench-smoke serve-smoke bench-cache bench-multigrid bce
 
 build:
 	$(GO) build ./...
@@ -15,8 +15,20 @@ vet:
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-# check is the pre-commit gate: formatting, static analysis, full tests.
-check: fmt vet test
+# check is the pre-commit gate: formatting, static analysis, full tests,
+# and the bounds-check pin on the hot kernels.
+check: fmt vet test bce
+
+# bce asserts the SIMD-shaped kernels compile with zero bounds checks in
+# their inner loops: `ssa/check_bce` prints one "Found IsInBounds" line
+# per surviving check, and any line naming a pinned kernel file fails the
+# target. (IsSliceInBounds from the setup reslices is fine — those run
+# once per row/pass, not per point.) -a defeats the build cache so the
+# diagnostic always runs.
+bce:
+	@out="$$($(GO) build -a -gcflags=-d=ssa/check_bce ./internal/multigrid/ ./internal/fft/ 2>&1 | grep -E 'stencil\.go|butterfly\.go' | grep 'Found IsInBounds' || true)"; \
+	if [ -n "$$out" ]; then echo "bounds checks survive in pinned kernel files:"; echo "$$out"; exit 1; fi; \
+	echo "bce: stencil.go and butterfly.go are bounds-check free"
 
 # Race-check the concurrency-heavy packages (FFT worker pool and pooled
 # scratch arenas, goroutine pool, collective I/O, parallel SCF assembly,
@@ -54,8 +66,16 @@ bench-smoke: build
 # bench-fft runs the FFT/Hamiltonian hot-path benchmarks with allocation
 # reporting and records the machine-readable results in BENCH_fft.json.
 bench-fft:
-	$(GO) test -run '^$$' -bench 'Benchmark(3DBatch|R3Batch|Plan3|RPlan3|Forward|HartreeFFT|ApplyAll$$|ApplyAllBLAS)' -benchtime 2s ./internal/fft/ ./internal/pw/ | $(GO) run ./cmd/benchjson > BENCH_fft.json
+	$(GO) test -run '^$$' -bench 'Benchmark(3DBatch|R3Batch|Plan3|RPlan3|Forward|HartreeFFT|ApplyAll$$|ApplyAllSeparate|ApplyAllBLAS)' -benchtime 2s ./internal/fft/ ./internal/pw/ | $(GO) run ./cmd/benchjson > BENCH_fft.json
 	@cat BENCH_fft.json
+
+# bench-multigrid runs the multigrid stencil kernels (vectorized vs the
+# per-point wrapMul references), the transfer operators, and the V-cycle /
+# full-solve paths, recording the results in BENCH_multigrid.json. The
+# Smooth*/Residual* vs *Ref* ratios are the vectorization win.
+bench-multigrid:
+	$(GO) test -run '^$$' -bench 'Benchmark(Smooth|Residual|Restrict|Prolong|VCycle|Poisson)' -benchtime 2s ./internal/multigrid/ | $(GO) run ./cmd/benchjson > BENCH_multigrid.json
+	@cat BENCH_multigrid.json
 
 # bench-cache benchmarks the warm-start cache hot paths (put, exact and
 # near lookup, entry codec) and records the machine-readable results in

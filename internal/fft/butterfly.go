@@ -1,0 +1,128 @@
+// SIMD-shaped power-of-two butterfly kernel (§4.2). The iterative
+// radix-2 kernel walked the array once per stage (log2 n passes) with a
+// strided twiddle lookup per butterfly. Here consecutive radix-2 stage
+// pairs are fused into radix-4 passes — op-for-op, keeping every
+// product and sum of the radix-2 schedule so results stay bitwise
+// identical to the retained radix2Ref in butterfly_test.go — which
+// halves the passes over the per-worker arenas, and the twiddles for
+// each fused stage are packed into contiguous (wB, wA, wB') triples so
+// the inner loop reads them stride-1 instead of hopping through the
+// half-size table. Inner loops run on advancing windows with constant
+// indices, so every bounds check is eliminated (`make bce` pins this
+// file to zero IsInBounds).
+package fft
+
+import "math/bits"
+
+// radix24 computes the in-place DFT of x (length p.n, a power of two)
+// with bit-reversal reordering followed by fused radix-4 passes, one
+// leading radix-2 pass when log2 n is odd. The floating-point schedule
+// is exactly the iterative radix-2 kernel's (see radix2Ref), stage by
+// stage; only the pass structure and twiddle layout differ.
+func (p *Plan) radix24(x []complex128, inverse bool) {
+	n := p.n
+	if len(x) < n {
+		return
+	}
+	x = x[:n]
+	for i, r := range p.rev {
+		// r < len(x) always holds; stating it lets the compiler drop
+		// the bounds checks on the data-dependent swap indices.
+		if i < r && r < len(x) {
+			x[i], x[r] = x[r], x[i]
+		}
+	}
+	if n < 4 {
+		if n == 2 {
+			u, v := x[0], x[1]
+			x[0], x[1] = u+v, u-v
+		}
+		return
+	}
+	tw := p.tw4f
+	if inverse {
+		tw = p.tw4i
+	}
+	// The packed table always holds at least the first stage's triple
+	// for n ≥ 4; the guard exists to make that visible to the compiler.
+	if len(tw) < 3 {
+		return
+	}
+	var q int
+	if bits.TrailingZeros(uint(n))&1 == 1 {
+		// Odd log2 n: one radix-2 pass over adjacent pairs (ω⁰ = 1).
+		for w := x; len(w) >= 2; w = w[2:] {
+			u, v := w[0], w[1]
+			w[0], w[1] = u+v, u-v
+		}
+		q = 2
+	} else {
+		// First fused stage, q = 1: wA = wB = ω⁰ = 1 (multiplies by
+		// exactly 1+0i elided), wB' = the table's ω^{n/4}.
+		wq := tw[2]
+		for w := x; len(w) >= 4; w = w[4:] {
+			a0, a1, a2, a3 := w[0], w[1], w[2], w[3]
+			u0, u1 := a0+a1, a0-a1
+			u2, u3 := a2+a3, a2-a3
+			v1 := u3 * wq
+			w[0], w[2] = u0+u2, u0-u2
+			w[1], w[3] = u1+v1, u1-v1
+		}
+		tw = tw[3:]
+		q = 4
+	}
+	for ; 4*q <= n; q *= 4 {
+		q4 := 4 * q
+		t := tw
+		if len(t) > 3*q {
+			t = t[:3*q]
+		}
+		tw = tw[3*q:]
+		for s := 0; s+q4 <= n; s += q4 {
+			blk := x[s : s+q4]
+			a := blk[:q]
+			b := blk[q : 2*q]
+			c := blk[2*q : 3*q]
+			d := blk[3*q : 4*q]
+			tt := t
+			// Two fused radix-2 stage pairs per point: stage A
+			// butterflies (a,b) and (c,d) with the shared wA, then
+			// stage B butterflies (a,c) and (b,d) with wB, wB'.
+			for len(a) >= 2 && len(b) >= 2 && len(c) >= 2 && len(d) >= 2 && len(tt) >= 6 {
+				w0, wa, w1 := tt[0], tt[1], tt[2]
+				t1 := b[0] * wa
+				u0, u1 := a[0]+t1, a[0]-t1
+				t3 := d[0] * wa
+				u2, u3 := c[0]+t3, c[0]-t3
+				v0 := u2 * w0
+				a[0], c[0] = u0+v0, u0-v0
+				v1 := u3 * w1
+				b[0], d[0] = u1+v1, u1-v1
+
+				w0, wa, w1 = tt[3], tt[4], tt[5]
+				t1 = b[1] * wa
+				u0, u1 = a[1]+t1, a[1]-t1
+				t3 = d[1] * wa
+				u2, u3 = c[1]+t3, c[1]-t3
+				v0 = u2 * w0
+				a[1], c[1] = u0+v0, u0-v0
+				v1 = u3 * w1
+				b[1], d[1] = u1+v1, u1-v1
+
+				a, b, c, d, tt = a[2:], b[2:], c[2:], d[2:], tt[6:]
+			}
+			for len(a) >= 1 && len(b) >= 1 && len(c) >= 1 && len(d) >= 1 && len(tt) >= 3 {
+				w0, wa, w1 := tt[0], tt[1], tt[2]
+				t1 := b[0] * wa
+				u0, u1 := a[0]+t1, a[0]-t1
+				t3 := d[0] * wa
+				u2, u3 := c[0]+t3, c[0]-t3
+				v0 := u2 * w0
+				a[0], c[0] = u0+v0, u0-v0
+				v1 := u3 * w1
+				b[0], d[0] = u1+v1, u1-v1
+				a, b, c, d, tt = a[1:], b[1:], c[1:], d[1:], tt[3:]
+			}
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package fft
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// radix2Ref is the iterative Cooley–Tukey kernel the fused radix-4
+// passes replaced: one array pass per stage, strided twiddle lookups.
+// radix24 must replay its floating-point schedule exactly, so the two
+// kernels are pinned bitwise identical here.
+func (p *Plan) radix2Ref(x []complex128, tw []complex128) {
+	n := p.n
+	for i, r := range p.rev {
+		if i < r {
+			x[i], x[r] = x[r], x[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size
+		for start := 0; start < n; start += size {
+			k := 0
+			for j := start; j < start+half; j++ {
+				w := tw[k]
+				u := x[j]
+				v := x[j+half] * w
+				x[j] = u + v
+				x[j+half] = u - v
+				k += step
+			}
+		}
+	}
+}
+
+// bitwiseEq treats ±0 as equal: the fused kernel elides multiplies by
+// the exact ω⁰ = 1+0i, which can only flip the sign of a zero.
+func bitwiseEq(a, b complex128) bool {
+	return real(a) == real(b) && imag(a) == imag(b)
+}
+
+func TestRadix24BitwiseIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 1024} {
+		p := NewPlan(n)
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		for _, inverse := range []bool{false, true} {
+			a := append([]complex128(nil), x...)
+			b := append([]complex128(nil), x...)
+			p.radix24(a, inverse)
+			tw := p.twiddle
+			if inverse {
+				tw = p.itwiddle
+			}
+			p.radix2Ref(b, tw)
+			for i := range a {
+				if !bitwiseEq(a[i], b[i]) {
+					t.Fatalf("n=%d inverse=%v: radix24 diverges from radix2Ref at %d: %v vs %v",
+						n, inverse, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+// TestMixedRadix4BitwiseIdentical pins the fused radix-4 branch of the
+// mixed-radix recursion (taken when 4 | n) to the pure radix-2
+// recursion it fused, which recRef preserves.
+func TestMixedRadix4BitwiseIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{4, 12, 20, 24, 36, 48, 60, 72, 180} {
+		m := newMixedFFT(n)
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		for _, inverse := range []bool{false, true} {
+			roots := m.fwd
+			if inverse {
+				roots = m.inv
+			}
+			a := append([]complex128(nil), x...)
+			dst := make([]complex128, n)
+			scr := make([]complex128, n)
+			m.rec(a, 1, dst, scr, n, roots)
+
+			b := append([]complex128(nil), x...)
+			dstRef := make([]complex128, n)
+			scrRef := make([]complex128, n)
+			m.recRef(b, 1, dstRef, scrRef, n, roots)
+			for i := range dst {
+				if !bitwiseEq(dst[i], dstRef[i]) {
+					t.Fatalf("n=%d inverse=%v: radix-4 branch diverges from radix-2 recursion at %d: %v vs %v",
+						n, inverse, i, dst[i], dstRef[i])
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkForwardPow2Ref(b *testing.B) {
+	p := NewPlan(64)
+	x := make([]complex128, 64)
+	for i := range x {
+		x[i] = complex(float64(i%7), float64(i%5))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.radix2Ref(x, p.twiddle)
+	}
+}
+
+// recRef is the pre-fusion mixed-radix recursion: pure radix-2 splits
+// for even lengths (the schedule the fused radix-4 branch must replay).
+func (m *mixedFFT) recRef(src []complex128, s int, dst, scratch []complex128, n int, roots []complex128) {
+	if n == 1 {
+		dst[0] = src[0]
+		return
+	}
+	r := smallestPrimeFactor(n)
+	N := m.n
+	if r == n {
+		step := N / n
+		for k := 0; k < n; k++ {
+			acc := src[0]
+			idx := 0
+			kstep := k * step
+			for j := 1; j < n; j++ {
+				idx += kstep
+				if idx >= N {
+					idx -= N
+				}
+				acc += src[j*s] * roots[idx]
+			}
+			dst[k] = acc
+		}
+		return
+	}
+	q := n / r
+	for i := 0; i < r; i++ {
+		m.recRef(src[i*s:], s*r, dst[i*q:], scratch, q, roots)
+	}
+	stepN := N / n
+	if r == 2 {
+		idx := 0
+		for k := 0; k < q; k++ {
+			a := dst[k]
+			b := roots[idx] * dst[q+k]
+			dst[k] = a + b
+			scratch[k] = a - b
+			idx += stepN
+		}
+		copy(dst[q:n], scratch[:q])
+		return
+	}
+	if r == 3 {
+		w3 := roots[N/3]
+		w3sq := w3 * w3
+		i1, i2 := 0, 0
+		for k := 0; k < q; k++ {
+			a := dst[k]
+			b := roots[i1] * dst[q+k]
+			c := roots[i2] * dst[2*q+k]
+			dst[k] = a + b + c
+			scratch[k] = a + w3*b + w3sq*c
+			scratch[q+k] = a + w3sq*b + w3*c
+			i1 += stepN
+			i2 += 2 * stepN
+			if i2 >= N {
+				i2 -= N
+			}
+		}
+		copy(dst[q:n], scratch[:2*q])
+		return
+	}
+	stepR := N / r
+	for k := 0; k < q; k++ {
+		kN := k * stepN
+		for t := 0; t < r; t++ {
+			acc := dst[k]
+			idx := 0
+			inc := kN + t*stepR
+			for inc >= N {
+				inc -= N
+			}
+			for i := 1; i < r; i++ {
+				idx += inc
+				if idx >= N {
+					idx -= N
+				}
+				acc += roots[idx] * dst[i*q+k]
+			}
+			scratch[k+t*q] = acc
+		}
+	}
+	copy(dst[:n], scratch[:n])
+}

@@ -30,6 +30,8 @@ type Plan struct {
 	pow2     bool
 	twiddle  []complex128 // forward twiddles for radix-2, size n/2
 	itwiddle []complex128 // inverse twiddles
+	tw4f     []complex128 // packed per-stage triples for the fused radix-4 passes
+	tw4i     []complex128 // inverse counterpart
 	rev      []int        // bit-reversal permutation
 	mixed    *mixedFFT    // smooth composite lengths
 	dense    *denseDFT    // small lengths with large prime factors
@@ -58,6 +60,14 @@ func NewPlan(n int) *Plan {
 			p.itwiddle[k] = complex(math.Cos(ang), -math.Sin(ang))
 		}
 		p.rev = bitReversal(n)
+		if n >= 4 {
+			q0 := 1
+			if bits.TrailingZeros(uint(n))&1 == 1 {
+				q0 = 2
+			}
+			p.tw4f = packRadix4Twiddles(p.twiddle, n, q0)
+			p.tw4i = packRadix4Twiddles(p.itwiddle, n, q0)
+		}
 	case smoothLength(n):
 		p.mixed = newMixedFFT(n)
 	case n <= denseSizeLimit:
@@ -95,7 +105,7 @@ func (p *Plan) scratchLen() int {
 func (p *Plan) forwardS(x, scratch []complex128) {
 	switch {
 	case p.pow2:
-		p.radix2(x, p.twiddle)
+		p.radix24(x, false)
 	case p.mixed != nil:
 		p.mixed.transformS(x, scratch, false)
 	case p.dense != nil:
@@ -109,7 +119,7 @@ func (p *Plan) forwardS(x, scratch []complex128) {
 func (p *Plan) inverseS(x, scratch []complex128) {
 	switch {
 	case p.pow2:
-		p.radix2(x, p.itwiddle)
+		p.radix24(x, true)
 	case p.mixed != nil:
 		p.mixed.transformS(x, scratch, true)
 	case p.dense != nil:
@@ -120,6 +130,24 @@ func (p *Plan) inverseS(x, scratch []complex128) {
 	inv := complex(1/float64(p.n), 0)
 	for i := range x {
 		x[i] *= inv
+	}
+}
+
+// inverseRawS is inverseS without the 1/n normalization: the raw sum
+// Σ X[k] e^{+2πi jk/n}. The fused real-space Hamiltonian path uses it
+// because the plane-wave convention ψ̃ = N³·Inverse makes the raw
+// inverse exactly the target, letting the per-axis normalize passes and
+// the N³ rescale pass cancel instead of being computed.
+func (p *Plan) inverseRawS(x, scratch []complex128) {
+	switch {
+	case p.pow2:
+		p.radix24(x, true)
+	case p.mixed != nil:
+		p.mixed.transformS(x, scratch, true)
+	case p.dense != nil:
+		p.dense.transformS(x, scratch, true)
+	default:
+		p.blu.transformS(x, scratch, true)
 	}
 }
 
@@ -175,7 +203,7 @@ func (p *Plan) Forward(x []complex128) {
 		panic(fmt.Sprintf("fft: length %d != plan %d", len(x), p.n))
 	}
 	if p.pow2 {
-		p.radix2(x, p.twiddle)
+		p.radix24(x, false)
 	} else {
 		s := p.scratch.Get().(*[]complex128)
 		p.forwardS(x, *s)
@@ -191,7 +219,7 @@ func (p *Plan) Inverse(x []complex128) {
 		panic(fmt.Sprintf("fft: length %d != plan %d", len(x), p.n))
 	}
 	if p.pow2 {
-		p.radix2(x, p.itwiddle)
+		p.radix24(x, true)
 		inv := complex(1/float64(p.n), 0)
 		for i := range x {
 			x[i] *= inv
@@ -202,6 +230,22 @@ func (p *Plan) Inverse(x []complex128) {
 		p.scratch.Put(s)
 	}
 	perf.Global.AddVector(flops(p.n))
+}
+
+// packRadix4Twiddles lays out the twiddle triples the fused stages
+// consume in order: for each stage with quarter length q (ascending),
+// entries 3j..3j+2 hold tw[j·step], tw[2j·step], tw[(j+q)·step] with
+// step = n/(4q) — the second-stage pair twiddle, the shared first-stage
+// twiddle, and the second-stage twiddle of the upper pair.
+func packRadix4Twiddles(tw []complex128, n, q0 int) []complex128 {
+	var out []complex128
+	for q := q0; 4*q <= n; q *= 4 {
+		step := n / (4 * q)
+		for j := 0; j < q; j++ {
+			out = append(out, tw[j*step], tw[2*j*step], tw[(j+q)*step])
+		}
+	}
+	return out
 }
 
 // flops is the standard 5 n log2 n FFT operation-count model.
@@ -219,32 +263,6 @@ func bitReversal(n int) []int {
 		rev[i] = int(bits.Reverse64(uint64(i)) >> shift)
 	}
 	return rev
-}
-
-// radix2 is the iterative Cooley–Tukey kernel with a precomputed
-// bit-reversal permutation and twiddle table.
-func (p *Plan) radix2(x []complex128, tw []complex128) {
-	n := p.n
-	for i, r := range p.rev {
-		if i < r {
-			x[i], x[r] = x[r], x[i]
-		}
-	}
-	for size := 2; size <= n; size <<= 1 {
-		half := size >> 1
-		step := n / size
-		for start := 0; start < n; start += size {
-			k := 0
-			for j := start; j < start+half; j++ {
-				w := tw[k]
-				u := x[j]
-				v := x[j+half] * w
-				x[j] = u + v
-				x[j+half] = u - v
-				k += step
-			}
-		}
-	}
 }
 
 // bluestein implements the chirp-z transform for arbitrary lengths by

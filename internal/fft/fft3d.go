@@ -79,11 +79,11 @@ func (p *Plan3) Size() int { return p.Nx * p.Ny * p.Nz }
 func (p *Plan3) Flops() int64 { return p.flops }
 
 // Forward computes the in-place 3-D forward DFT.
-func (p *Plan3) Forward(x []complex128) { p.apply(x, false) }
+func (p *Plan3) Forward(x []complex128) { p.apply(x, passFwd) }
 
 // Inverse computes the in-place 3-D inverse DFT including the 1/(NxNyNz)
 // normalization.
-func (p *Plan3) Inverse(x []complex128) { p.apply(x, true) }
+func (p *Plan3) Inverse(x []complex128) { p.apply(x, passInv) }
 
 // ForwardBatch computes the forward DFT of nb independent grids packed
 // contiguously in x (grid g occupies x[g*Size():(g+1)*Size()]). Grids are
@@ -91,24 +91,56 @@ func (p *Plan3) Inverse(x []complex128) { p.apply(x, true) }
 // one worker's arena — for nb ≥ GOMAXPROCS this replaces per-line
 // fan-out with per-grid fan-out and runs allocation-free in the steady
 // state.
-func (p *Plan3) ForwardBatch(x []complex128, nb int) { p.applyBatch(x, nb, false) }
+func (p *Plan3) ForwardBatch(x []complex128, nb int) { p.applyBatch(x, nb, passFwd) }
 
 // InverseBatch is ForwardBatch's inverse, including the 1/(NxNyNz)
 // normalization of each grid.
-func (p *Plan3) InverseBatch(x []complex128, nb int) { p.applyBatch(x, nb, true) }
+func (p *Plan3) InverseBatch(x []complex128, nb int) { p.applyBatch(x, nb, passInv) }
 
-func (p *Plan3) apply(x []complex128, inverse bool) {
+func (p *Plan3) apply(x []complex128, mode int8) {
 	if len(x) != p.Size() {
 		panic("fft: data length does not match 3-D plan")
 	}
 	defer ph3D.Start().StopFlops(p.flops)
-	runUnits(fftJob{p: p, x: x, kind: jobZ, inverse: inverse}, p.Nx*p.Ny)
-	runUnits(fftJob{p: p, x: x, kind: jobY, inverse: inverse}, p.Nx*zBlocks(p.Nz))
-	runUnits(fftJob{p: p, x: x, kind: jobX, inverse: inverse}, (p.Ny*p.Nz+tileB-1)/tileB)
+	runUnits(fftJob{p: p, x: x, kind: jobZ, mode: mode}, p.Nx*p.Ny)
+	runUnits(fftJob{p: p, x: x, kind: jobY, mode: mode}, p.Nx*zBlocks(p.Nz))
+	runUnits(fftJob{p: p, x: x, kind: jobX, mode: mode}, (p.Ny*p.Nz+tileB-1)/tileB)
 	perf.Global.AddVector(p.flops)
 }
 
-func (p *Plan3) applyBatch(x []complex128, nb int, inverse bool) {
+// InverseRawMulReal computes the UNNORMALIZED in-place 3-D inverse DFT
+// multiplied pointwise by the real field vr (len Size). In the
+// plane-wave convention ψ̃(r) = N³·Inverse, the raw inverse is exactly
+// ψ̃, so this one call replaces Inverse + ×N³ rescale + ×V_loc — three
+// grid traversals fused into the transform's own passes.
+func (p *Plan3) InverseRawMulReal(x []complex128, vr []float64) {
+	if len(x) != p.Size() || len(vr) != p.Size() {
+		panic("fft: data length does not match 3-D plan")
+	}
+	fl := p.flops + 6*int64(p.Size())
+	defer ph3D.Start().StopFlops(fl)
+	runUnits(fftJob{p: p, x: x, kind: jobZ, mode: passInvRaw}, p.Nx*p.Ny)
+	runUnits(fftJob{p: p, x: x, kind: jobY, mode: passInvRaw}, p.Nx*zBlocks(p.Nz))
+	runUnits(fftJob{p: p, x: x, rx: vr, kind: jobXMulV, mode: passInvRaw}, (p.Ny*p.Nz+tileB-1)/tileB)
+	perf.Global.AddVector(fl)
+}
+
+// InverseRawMulRealBatch applies InverseRawMulReal to nb packed grids,
+// each multiplied by the same real field vr.
+func (p *Plan3) InverseRawMulRealBatch(x []complex128, nb int, vr []float64) {
+	if nb < 0 || len(x) != nb*p.Size() || len(vr) != p.Size() {
+		panic("fft: batch length does not match 3-D plan")
+	}
+	if nb == 0 {
+		return
+	}
+	fl := (p.flops + 6*int64(p.Size())) * int64(nb)
+	defer ph3D.Start().StopFlops(fl)
+	runUnits(fftJob{p: p, x: x, rx: vr, kind: jobGridsMulV, mode: passInvRaw}, nb)
+	perf.Global.AddVector(fl)
+}
+
+func (p *Plan3) applyBatch(x []complex128, nb int, mode int8) {
 	if nb < 0 || len(x) != nb*p.Size() {
 		panic("fft: batch length does not match 3-D plan")
 	}
@@ -116,30 +148,49 @@ func (p *Plan3) applyBatch(x []complex128, nb int, inverse bool) {
 		return
 	}
 	defer ph3D.Start().StopFlops(p.flops * int64(nb))
-	runUnits(fftJob{p: p, x: x, kind: jobGrids, inverse: inverse}, nb)
+	runUnits(fftJob{p: p, x: x, kind: jobGrids, mode: mode}, nb)
 	perf.Global.AddVector(p.flops * int64(nb))
 }
 
 // applySerial runs one full 3-D transform on a single goroutine with the
 // given arena. This is the batch worker body and the GOMAXPROCS=1 path.
-func (p *Plan3) applySerial(x []complex128, inverse bool, a *arena3) {
-	p.zLines(x, inverse, 0, p.Nx*p.Ny, a)
-	p.yTiles(x, inverse, 0, p.Nx*zBlocks(p.Nz), a)
-	p.xTiles(x, inverse, 0, (p.Ny*p.Nz+tileB-1)/tileB, a)
+func (p *Plan3) applySerial(x []complex128, mode int8, a *arena3) {
+	p.zLines(x, mode, 0, p.Nx*p.Ny, a)
+	p.yTiles(x, mode, 0, p.Nx*zBlocks(p.Nz), a)
+	p.xTiles(x, mode, 0, (p.Ny*p.Nz+tileB-1)/tileB, a, nil)
 }
+
+// applySerialMulReal is applySerial for the fused raw-inverse ×vr path.
+func (p *Plan3) applySerialMulReal(x []complex128, vr []float64, a *arena3) {
+	p.zLines(x, passInvRaw, 0, p.Nx*p.Ny, a)
+	p.yTiles(x, passInvRaw, 0, p.Nx*zBlocks(p.Nz), a)
+	p.xTiles(x, passInvRaw, 0, (p.Ny*p.Nz+tileB-1)/tileB, a, vr)
+}
+
+// Pass modes for the axis kernels. passInvRaw is the inverse without
+// any normalization — the fused ψ→real-space path (InverseRawMulReal)
+// wants N³·Inverse, which is exactly the raw inverse.
+const (
+	passFwd int8 = iota
+	passInv
+	passInvRaw
+)
 
 // zBlocks is the number of tileB-wide iz blocks in one y-pass row.
 func zBlocks(nz int) int { return (nz + tileB - 1) / tileB }
 
 // zLines transforms the contiguous z-lines [lo, hi).
-func (p *Plan3) zLines(x []complex128, inverse bool, lo, hi int, a *arena3) {
+func (p *Plan3) zLines(x []complex128, mode int8, lo, hi int, a *arena3) {
 	nz := p.Nz
 	for l := lo; l < hi; l++ {
 		line := x[l*nz : (l+1)*nz]
-		if inverse {
-			p.pz.inverseS(line, a.line)
-		} else {
+		switch mode {
+		case passFwd:
 			p.pz.forwardS(line, a.line)
+		case passInv:
+			p.pz.inverseS(line, a.line)
+		default:
+			p.pz.inverseRawS(line, a.line)
 		}
 	}
 }
@@ -148,7 +199,7 @@ func (p *Plan3) zLines(x []complex128, inverse bool, lo, hi int, a *arena3) {
 // covers plane ix = u/zBlocks, iz block (u%zBlocks)*tileB: a block of up
 // to tileB adjacent z-columns is gathered into the arena (contiguous
 // tileB-element reads per y), transformed, and scattered back.
-func (p *Plan3) yTiles(x []complex128, inverse bool, lo, hi int, a *arena3) {
+func (p *Plan3) yTiles(x []complex128, mode int8, lo, hi int, a *arena3) {
 	ny, nz := p.Ny, p.Nz
 	bz := zBlocks(nz)
 	for u := lo; u < hi; u++ {
@@ -165,10 +216,13 @@ func (p *Plan3) yTiles(x []complex128, inverse bool, lo, hi int, a *arena3) {
 		}
 		for t := 0; t < w; t++ {
 			line := buf[t*ny : t*ny+ny]
-			if inverse {
-				p.py.inverseS(line, a.line)
-			} else {
+			switch mode {
+			case passFwd:
 				p.py.forwardS(line, a.line)
+			case passInv:
+				p.py.inverseS(line, a.line)
+			default:
+				p.py.inverseRawS(line, a.line)
 			}
 		}
 		for iy := 0; iy < ny; iy++ {
@@ -181,8 +235,11 @@ func (p *Plan3) yTiles(x []complex128, inverse bool, lo, hi int, a *arena3) {
 }
 
 // xTiles transforms x-lines (stride Ny*Nz) for tile units [lo, hi). Unit
-// u covers the yz-plane offsets [u*tileB, u*tileB+w).
-func (p *Plan3) xTiles(x []complex128, inverse bool, lo, hi int, a *arena3) {
+// u covers the yz-plane offsets [u*tileB, u*tileB+w). When vr is
+// non-nil, each output point is multiplied by the real field vr during
+// the scatter-back — the fused ×V_loc of the real-space Hamiltonian
+// application, which removes one full grid traversal per band.
+func (p *Plan3) xTiles(x []complex128, mode int8, lo, hi int, a *arena3, vr []float64) {
 	nx := p.Nx
 	plane := p.Ny * p.Nz
 	for u := lo; u < hi; u++ {
@@ -197,14 +254,24 @@ func (p *Plan3) xTiles(x []complex128, inverse bool, lo, hi int, a *arena3) {
 		}
 		for t := 0; t < w; t++ {
 			line := buf[t*nx : t*nx+nx]
-			if inverse {
-				p.px.inverseS(line, a.line)
-			} else {
+			switch mode {
+			case passFwd:
 				p.px.forwardS(line, a.line)
+			case passInv:
+				p.px.inverseS(line, a.line)
+			default:
+				p.px.inverseRawS(line, a.line)
 			}
 		}
 		for ix := 0; ix < nx; ix++ {
 			dst := x[ix*plane+l0 : ix*plane+l0+w]
+			if vr != nil {
+				vs := vr[ix*plane+l0 : ix*plane+l0+w]
+				for t := range dst {
+					dst[t] = buf[t*nx+ix] * complex(vs[t], 0)
+				}
+				continue
+			}
 			for t := range dst {
 				dst[t] = buf[t*nx+ix]
 			}
@@ -221,14 +288,14 @@ func (p *Plan3) putArena(a *arena3) { p.arenas.Put(a) }
 // real-transform passes (jobRZ, jobRGrids) set rp and carry the real
 // side of the data in rx.
 type fftJob struct {
-	p       *Plan3
-	rp      *RPlan3
-	x       []complex128
-	rx      []float64
-	kind    int8
-	inverse bool
-	lo, hi  int
-	wg      *sync.WaitGroup
+	p      *Plan3
+	rp     *RPlan3
+	x      []complex128
+	rx     []float64 // real data (jobRZ/jobRGrids) or the fused real multiplier (jobXMulV/jobGridsMulV)
+	kind   int8
+	mode   int8 // passFwd/passInv/passInvRaw; jobR* read it as fwd-vs-inverse
+	lo, hi int
+	wg     *sync.WaitGroup
 }
 
 const (
@@ -236,15 +303,17 @@ const (
 	jobY
 	jobX
 	jobGrids
-	jobRZ     // r2c/c2r z-lines between rx and the packed half grid x
-	jobRGrids // whole real↔half-spectrum grids of a batch
+	jobRZ        // r2c/c2r z-lines between rx and the packed half grid x
+	jobRGrids    // whole real↔half-spectrum grids of a batch
+	jobXMulV     // x-pass with the fused ×vr scatter-back (vr in rx)
+	jobGridsMulV // whole-grid raw inverse ×vr of a batch
 )
 
 func (j fftJob) run() {
 	switch j.kind {
 	case jobRZ:
 		s := j.rp.getScratch()
-		if j.inverse {
+		if j.mode != passFwd {
 			j.rp.c2rLines(j.x, j.rx, j.lo, j.hi, *s)
 		} else {
 			j.rp.r2cLines(j.rx, j.x, j.lo, j.hi, *s)
@@ -256,7 +325,7 @@ func (j fftJob) run() {
 		a := j.rp.half.getArena()
 		rsize, hsize := j.rp.Size(), j.rp.HSize()
 		for g := j.lo; g < j.hi; g++ {
-			j.rp.applySerial(j.rx[g*rsize:(g+1)*rsize], j.x[g*hsize:(g+1)*hsize], j.inverse, *s, a)
+			j.rp.applySerial(j.rx[g*rsize:(g+1)*rsize], j.x[g*hsize:(g+1)*hsize], j.mode != passFwd, *s, a)
 		}
 		j.rp.half.putArena(a)
 		j.rp.putScratch(s)
@@ -265,15 +334,22 @@ func (j fftJob) run() {
 	a := j.p.getArena()
 	switch j.kind {
 	case jobZ:
-		j.p.zLines(j.x, j.inverse, j.lo, j.hi, a)
+		j.p.zLines(j.x, j.mode, j.lo, j.hi, a)
 	case jobY:
-		j.p.yTiles(j.x, j.inverse, j.lo, j.hi, a)
+		j.p.yTiles(j.x, j.mode, j.lo, j.hi, a)
 	case jobX:
-		j.p.xTiles(j.x, j.inverse, j.lo, j.hi, a)
+		j.p.xTiles(j.x, j.mode, j.lo, j.hi, a, nil)
+	case jobXMulV:
+		j.p.xTiles(j.x, j.mode, j.lo, j.hi, a, j.rx)
 	case jobGrids:
 		size := j.p.Size()
 		for g := j.lo; g < j.hi; g++ {
-			j.p.applySerial(j.x[g*size:(g+1)*size], j.inverse, a)
+			j.p.applySerial(j.x[g*size:(g+1)*size], j.mode, a)
+		}
+	case jobGridsMulV:
+		size := j.p.Size()
+		for g := j.lo; g < j.hi; g++ {
+			j.p.applySerialMulReal(j.x[g*size:(g+1)*size], j.rx, a)
 		}
 	}
 	j.p.putArena(a)

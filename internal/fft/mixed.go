@@ -81,6 +81,42 @@ func (m *mixedFFT) rec(src []complex128, s int, dst, scratch []complex128, n int
 		}
 		return
 	}
+	if r == 2 && n%4 == 0 && n > 4 {
+		// Fused radix-4 branch: two radix-2 recursion levels collapsed
+		// into one decimation-by-4 plus a single combine pass (n = 4
+		// is excluded: its length-2 halves go through the prime base
+		// case, whose table-root multiplies a fused combine would not
+		// replay exactly). The
+		// floating-point schedule is op-for-op the radix-2 recursion's
+		// (pinned bitwise against recRef in butterfly_test.go); fusing
+		// halves the combine passes over dst and needs no scratch copy.
+		q := n / 4
+		m.rec(src, s*4, dst[0:q], scratch, q, roots)
+		m.rec(src[2*s:], s*4, dst[q:2*q], scratch, q, roots)
+		m.rec(src[s:], s*4, dst[2*q:3*q], scratch, q, roots)
+		m.rec(src[3*s:], s*4, dst[3*q:4*q], scratch, q, roots)
+		stepN := N / n
+		aa, bb := dst[:q], dst[q:2*q]
+		cc, dd := dst[2*q:3*q], dst[3*q:4*q]
+		i0, iA, i1 := 0, 0, q*stepN
+		for k := 0; k < q; k++ {
+			wA := roots[iA]
+			a := aa[k]
+			b := wA * bb[k]
+			u0, u1 := a+b, a-b
+			c := cc[k]
+			d := wA * dd[k]
+			u2, u3 := c+d, c-d
+			v0 := roots[i0] * u2
+			aa[k], cc[k] = u0+v0, u0-v0
+			v1 := roots[i1] * u3
+			bb[k], dd[k] = u1+v1, u1-v1
+			i0 += stepN
+			iA += 2 * stepN
+			i1 += stepN
+		}
+		return
+	}
 	q := n / r
 	// Decimation in time: sub-DFTs of the r interleaved subsequences.
 	for i := 0; i < r; i++ {

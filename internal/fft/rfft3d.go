@@ -84,9 +84,9 @@ func (p *RPlan3) Forward(src []float64, dst []complex128) {
 func (p *RPlan3) Inverse(src []complex128, dst []float64) {
 	p.checkLens(dst, src)
 	defer ph3DReal.Start().StopFlops(p.flops)
-	runUnits(fftJob{p: p.half, x: src, kind: jobX, inverse: true}, (p.Ny*p.Nzh+tileB-1)/tileB)
-	runUnits(fftJob{p: p.half, x: src, kind: jobY, inverse: true}, p.Nx*zBlocks(p.Nzh))
-	runUnits(fftJob{rp: p, rx: dst, x: src, kind: jobRZ, inverse: true}, p.Nx*p.Ny)
+	runUnits(fftJob{p: p.half, x: src, kind: jobX, mode: passInv}, (p.Ny*p.Nzh+tileB-1)/tileB)
+	runUnits(fftJob{p: p.half, x: src, kind: jobY, mode: passInv}, p.Nx*zBlocks(p.Nzh))
+	runUnits(fftJob{rp: p, rx: dst, x: src, kind: jobRZ, mode: passInv}, p.Nx*p.Ny)
 	perf.Global.AddVector(p.flops)
 }
 
@@ -113,7 +113,7 @@ func (p *RPlan3) InverseBatch(src []complex128, dst []float64, nb int) {
 		return
 	}
 	defer ph3DReal.Start().StopFlops(p.flops * int64(nb))
-	runUnits(fftJob{rp: p, rx: dst, x: src, kind: jobRGrids, inverse: true}, nb)
+	runUnits(fftJob{rp: p, rx: dst, x: src, kind: jobRGrids, mode: passInv}, nb)
 	perf.Global.AddVector(p.flops * int64(nb))
 }
 
@@ -137,14 +137,14 @@ func (p *RPlan3) applySerial(re []float64, half []complex128, inverse bool, s []
 	yUnits := p.Nx * zBlocks(p.Nzh)
 	xUnits := (p.Ny*p.Nzh + tileB - 1) / tileB
 	if inverse {
-		p.half.xTiles(half, true, 0, xUnits, a)
-		p.half.yTiles(half, true, 0, yUnits, a)
+		p.half.xTiles(half, passInv, 0, xUnits, a, nil)
+		p.half.yTiles(half, passInv, 0, yUnits, a)
 		p.c2rLines(half, re, 0, p.Nx*p.Ny, s)
 		return
 	}
 	p.r2cLines(re, half, 0, p.Nx*p.Ny, s)
-	p.half.yTiles(half, false, 0, yUnits, a)
-	p.half.xTiles(half, false, 0, xUnits, a)
+	p.half.yTiles(half, passFwd, 0, yUnits, a)
+	p.half.xTiles(half, passFwd, 0, xUnits, a, nil)
 }
 
 // r2cLines transforms the contiguous real z-lines [lo, hi) of src into

@@ -2,6 +2,7 @@ package multigrid
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"ldcdft/internal/grid"
@@ -35,3 +36,68 @@ func benchPoisson(b *testing.B, n int) {
 func BenchmarkPoisson24(b *testing.B) { benchPoisson(b, 24) }
 func BenchmarkPoisson48(b *testing.B) { benchPoisson(b, 48) }
 func BenchmarkPoisson96(b *testing.B) { benchPoisson(b, 96) }
+
+// Kernel-level benchmarks: the SIMD-shaped smooth/residual pencil kernels
+// (stencil.go) against the per-point wrapMul references retained in
+// stencil_test.go. These are the numbers BENCH_multigrid.json pins; the
+// acceptance bar for the vectorized kernels is ≥1.5x over the Ref pair.
+func benchSweep(b *testing.B, n int, fn func(*level)) {
+	b.Helper()
+	lev := randLevel(rand.New(rand.NewSource(7)), n)
+	b.SetBytes(int64(n * n * n * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn(lev)
+	}
+}
+
+func BenchmarkSmooth24(b *testing.B)      { benchSweep(b, 24, smooth) }
+func BenchmarkSmooth48(b *testing.B)      { benchSweep(b, 48, smooth) }
+func BenchmarkSmoothRef24(b *testing.B)   { benchSweep(b, 24, smoothRef) }
+func BenchmarkSmoothRef48(b *testing.B)   { benchSweep(b, 48, smoothRef) }
+func BenchmarkResidual24(b *testing.B)    { benchSweep(b, 24, computeResidual) }
+func BenchmarkResidual48(b *testing.B)    { benchSweep(b, 48, computeResidual) }
+func BenchmarkResidualRef24(b *testing.B) { benchSweep(b, 24, computeResidualRef) }
+func BenchmarkResidualRef48(b *testing.B) { benchSweep(b, 48, computeResidualRef) }
+
+// Inter-level transfer operators and one whole V-cycle (allocations per
+// cycle must stay zero: the hierarchy is preallocated in NewSolver).
+func BenchmarkRestrict48(b *testing.B) {
+	fine := randLevel(rand.New(rand.NewSource(7)), 48)
+	coarse := randLevel(rand.New(rand.NewSource(8)), 24)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		restrictFull(fine.r, coarse.f, fine.n, coarse.n)
+	}
+}
+
+func BenchmarkProlong48(b *testing.B) {
+	fine := randLevel(rand.New(rand.NewSource(7)), 48)
+	coarse := randLevel(rand.New(rand.NewSource(8)), 24)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prolongAdd(coarse.v, fine.v, coarse.n, fine.n)
+	}
+}
+
+func BenchmarkVCycle48(b *testing.B) {
+	g := grid.New(48, 10)
+	s, err := NewSolver(g, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	top := s.levels[0]
+	for i := range top.f {
+		top.f[i] = rng.NormFloat64()
+	}
+	subtractMean(top.f)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.vcycle(0)
+	}
+}

@@ -15,10 +15,18 @@ import (
 	"ldcdft/internal/perf"
 )
 
-// phPoisson times the global Hartree solves; the stencil kernels are not
-// vectorized, so their modelled operation count goes to the scalar bucket
-// of the Global counter (the 72.5% non-vectorized hot spot of §4.2).
-var phPoisson = perf.GetPhase("multigrid/poisson")
+// phPoisson times the global Hartree solves. phSmooth and phResidual
+// break the V-cycle down into its two hot stencil kernels (stencil.go);
+// spans wrap whole sweep batches — a level's pre/post-smoothing loop,
+// the coarsest-level relaxation, one residual evaluation — rather than
+// single sweeps, so the coarse levels (microseconds per sweep) are not
+// swamped by timer overhead. Operation counts use the same per-point
+// model as flopsPerCycle (8 per smoothed point, 9 per residual point).
+var (
+	phPoisson  = perf.GetPhase("multigrid/poisson")
+	phSmooth   = perf.GetPhase("multigrid/smooth")
+	phResidual = perf.GetPhase("multigrid/residual")
+)
 
 // Options configures the solver. PreSmooth and PostSmooth use a
 // negative-means-zero sentinel so both "default" and "explicitly no
@@ -198,19 +206,28 @@ func subtractMean(x []float64) {
 // vcycle runs one V-cycle starting at level l.
 func (s *Solver) vcycle(l int) {
 	lev := s.levels[l]
+	n3 := int64(lev.n) * int64(lev.n) * int64(lev.n)
 	if l == len(s.levels)-1 {
 		// Coarsest level: relax hard. The nullspace (constant mode) is
 		// projected out after smoothing.
+		sp := phSmooth.Start()
 		for i := 0; i < 25*lev.n; i++ {
 			smooth(lev)
 		}
+		sp.StopFlops(25 * int64(lev.n) * 8 * n3)
 		subtractMean(lev.v)
 		return
 	}
-	for i := 0; i < s.opts.PreSmooth; i++ {
-		smooth(lev)
+	if s.opts.PreSmooth > 0 {
+		sp := phSmooth.Start()
+		for i := 0; i < s.opts.PreSmooth; i++ {
+			smooth(lev)
+		}
+		sp.StopFlops(int64(s.opts.PreSmooth) * 8 * n3)
 	}
+	sp := phResidual.Start()
 	computeResidual(lev)
+	sp.StopFlops(9 * n3)
 	coarse := s.levels[l+1]
 	restrictFull(lev.r, coarse.f, lev.n, coarse.n)
 	for i := range coarse.v {
@@ -218,53 +235,14 @@ func (s *Solver) vcycle(l int) {
 	}
 	s.vcycle(l + 1)
 	prolongAdd(coarse.v, lev.v, coarse.n, lev.n)
-	for i := 0; i < s.opts.PostSmooth; i++ {
-		smooth(lev)
+	if s.opts.PostSmooth > 0 {
+		sp := phSmooth.Start()
+		for i := 0; i < s.opts.PostSmooth; i++ {
+			smooth(lev)
+		}
+		sp.StopFlops(int64(s.opts.PostSmooth) * 8 * n3)
 	}
 	subtractMean(lev.v)
-}
-
-// smooth performs one red-black Gauss–Seidel sweep of the 7-point
-// periodic Laplacian: (Σ neighbours − 6v)/h² = f. The z-periodic wrap
-// only matters on the first and last points of a pencil, so those are
-// peeled off and the interior runs with branch-free iz±1 neighbours —
-// same update order, bitwise-identical results.
-func smooth(lev *level) {
-	n, h2 := lev.n, lev.h2
-	v, f := lev.v, lev.f
-	for parity := 0; parity < 2; parity++ {
-		for ix := 0; ix < n; ix++ {
-			xm := wrapMul(ix-1, n) * n * n
-			xp := wrapMul(ix+1, n) * n * n
-			x0 := ix * n * n
-			for iy := 0; iy < n; iy++ {
-				ym := wrapMul(iy-1, n) * n
-				yp := wrapMul(iy+1, n) * n
-				y0 := iy * n
-				iz := (parity + ix + iy) & 1
-				if iz == 0 {
-					zm, zp := n-1, 1%n
-					sum := v[xm+y0] + v[xp+y0] +
-						v[x0+ym] + v[x0+yp] +
-						v[x0+y0+zm] + v[x0+y0+zp]
-					v[x0+y0] = (sum - h2*f[x0+y0]) / 6
-					iz = 2
-				}
-				for ; iz < n-1; iz += 2 {
-					sum := v[xm+y0+iz] + v[xp+y0+iz] +
-						v[x0+ym+iz] + v[x0+yp+iz] +
-						v[x0+y0+iz-1] + v[x0+y0+iz+1]
-					v[x0+y0+iz] = (sum - h2*f[x0+y0+iz]) / 6
-				}
-				if iz == n-1 {
-					sum := v[xm+y0+iz] + v[xp+y0+iz] +
-						v[x0+ym+iz] + v[x0+yp+iz] +
-						v[x0+y0+iz-1] + v[x0+y0]
-					v[x0+y0+iz] = (sum - h2*f[x0+y0+iz]) / 6
-				}
-			}
-		}
-	}
 }
 
 func wrapMul(i, n int) int {
@@ -277,45 +255,10 @@ func wrapMul(i, n int) int {
 	return i
 }
 
-// computeResidual fills lev.r = f − ∇²v. As in smooth, the z-wrapping
-// first and last points of each pencil are peeled so the interior loop
-// reads its z-neighbours branch-free at iz±1.
-func computeResidual(lev *level) {
-	n, h2 := lev.n, lev.h2
-	v, f, r := lev.v, lev.f, lev.r
-	for ix := 0; ix < n; ix++ {
-		xm := wrapMul(ix-1, n) * n * n
-		xp := wrapMul(ix+1, n) * n * n
-		x0 := ix * n * n
-		for iy := 0; iy < n; iy++ {
-			ym := wrapMul(iy-1, n) * n
-			yp := wrapMul(iy+1, n) * n
-			y0 := iy * n
-			{
-				zm, zp := n-1, 1%n
-				lap := (v[xm+y0] + v[xp+y0] +
-					v[x0+ym] + v[x0+yp] +
-					v[x0+y0+zm] + v[x0+y0+zp] - 6*v[x0+y0]) / h2
-				r[x0+y0] = f[x0+y0] - lap
-			}
-			for iz := 1; iz < n-1; iz++ {
-				lap := (v[xm+y0+iz] + v[xp+y0+iz] +
-					v[x0+ym+iz] + v[x0+yp+iz] +
-					v[x0+y0+iz-1] + v[x0+y0+iz+1] - 6*v[x0+y0+iz]) / h2
-				r[x0+y0+iz] = f[x0+y0+iz] - lap
-			}
-			if iz := n - 1; iz > 0 {
-				lap := (v[xm+y0+iz] + v[xp+y0+iz] +
-					v[x0+ym+iz] + v[x0+yp+iz] +
-					v[x0+y0+iz-1] + v[x0+y0] - 6*v[x0+y0+iz]) / h2
-				r[x0+y0+iz] = f[x0+y0+iz] - lap
-			}
-		}
-	}
-}
-
 func (s *Solver) residualNorm(lev *level) float64 {
+	sp := phResidual.Start()
 	computeResidual(lev)
+	sp.StopFlops(9 * int64(lev.n) * int64(lev.n) * int64(lev.n))
 	var m float64
 	for _, v := range lev.r {
 		if a := math.Abs(v); a > m {
@@ -403,6 +346,59 @@ func prolongAdd(coarse, fine []float64, nc, nf int) {
 						cAt(cx, cy+1, cz+1) + cAt(cx+1, cy+1, cz+1))
 				}
 				fine[(fx*nf+fy)*nf+fz] += val
+			}
+		}
+	}
+}
+
+// smoothWrap is the per-point wrapMul sweep, kept for the degenerate
+// sizes (n < 4) where the z peel's interior would be empty or the
+// wrapped neighbours coincide. It is the same code as the reference in
+// stencil_test.go.
+func smoothWrap(lev *level) {
+	n, h2 := lev.n, lev.h2
+	v, f := lev.v, lev.f
+	for parity := 0; parity < 2; parity++ {
+		for ix := 0; ix < n; ix++ {
+			xm := wrapMul(ix-1, n) * n * n
+			xp := wrapMul(ix+1, n) * n * n
+			x0 := ix * n * n
+			for iy := 0; iy < n; iy++ {
+				ym := wrapMul(iy-1, n) * n
+				yp := wrapMul(iy+1, n) * n
+				y0 := iy * n
+				for iz := (parity + ix + iy) & 1; iz < n; iz += 2 {
+					zm := wrapMul(iz-1, n)
+					zp := wrapMul(iz+1, n)
+					sum := v[xm+y0+iz] + v[xp+y0+iz] +
+						v[x0+ym+iz] + v[x0+yp+iz] +
+						v[x0+y0+zm] + v[x0+y0+zp]
+					v[x0+y0+iz] = (sum - h2*f[x0+y0+iz]) / 6
+				}
+			}
+		}
+	}
+}
+
+// residualWrap is computeResidual's per-point wrapMul form for n < 4.
+func residualWrap(lev *level) {
+	n, h2 := lev.n, lev.h2
+	v, f, r := lev.v, lev.f, lev.r
+	for ix := 0; ix < n; ix++ {
+		xm := wrapMul(ix-1, n) * n * n
+		xp := wrapMul(ix+1, n) * n * n
+		x0 := ix * n * n
+		for iy := 0; iy < n; iy++ {
+			ym := wrapMul(iy-1, n) * n
+			yp := wrapMul(iy+1, n) * n
+			y0 := iy * n
+			for iz := 0; iz < n; iz++ {
+				zm := wrapMul(iz-1, n)
+				zp := wrapMul(iz+1, n)
+				lap := (v[xm+y0+iz] + v[xp+y0+iz] +
+					v[x0+ym+iz] + v[x0+yp+iz] +
+					v[x0+y0+zm] + v[x0+y0+zp] - 6*v[x0+y0+iz]) / h2
+				r[x0+y0+iz] = f[x0+y0+iz] - lap
 			}
 		}
 	}

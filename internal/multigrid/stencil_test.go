@@ -81,7 +81,7 @@ func cloneLevel(lev *level) *level {
 // across sizes down to the degenerate n = 1 and n = 2 wraps.
 func TestStencilsBitwiseIdentical(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
-	for _, n := range []int{1, 2, 3, 4, 5, 8, 16} {
+	for _, n := range []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 12, 16, 24} {
 		a := randLevel(rng, n)
 		b := cloneLevel(a)
 		for sweep := 0; sweep < 3; sweep++ {

@@ -57,6 +57,22 @@ func BenchmarkApplyAll(b *testing.B) {
 	}
 }
 
+// BenchmarkApplyAllSeparate is BenchmarkApplyAll with the fused ×V_loc
+// path disabled: separate inverse FFT, N³ rescale, and V_loc multiply
+// passes. The delta against BenchmarkApplyAll is the fusion win.
+func BenchmarkApplyAllSeparate(b *testing.B) {
+	defer func(prev bool) { fuseVloc = prev }(fuseVloc)
+	fuseVloc = false
+	h, psi := benchSetup(b, 16)
+	out := linalg.NewCMatrix(psi.Rows, psi.Cols)
+	h.ApplyAllInto(psi, out)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ApplyAllInto(psi, out)
+	}
+}
+
 func BenchmarkApplyAllBLAS2(b *testing.B) {
 	h, psi := benchSetup(b, 16)
 	h.NlMode = NonlocalBLAS2

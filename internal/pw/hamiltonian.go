@@ -39,6 +39,15 @@ func NewHamiltonian(b *Basis, proj *pseudo.Projectors) *Hamiltonian {
 	return &Hamiltonian{Basis: b, Vloc: make([]float64, b.Grid.Size()), Proj: proj}
 }
 
+// fuseVloc selects the fused real-space path: the ×V_loc multiply (and
+// the N³ plane-wave rescale) happen inside the inverse transform's final
+// x-pass (fft.InverseRawMulReal) instead of as separate grid traversals.
+// The fused and separate paths agree to ~1e-14 relative — not bitwise,
+// because the raw inverse folds the three per-axis normalizations into
+// nothing rather than rounding each — which TestFusedApplyEquivalence
+// pins. Kept as a toggle for that test and the ablation benchmark.
+var fuseVloc = true
+
 // ApplyWorkspace holds the reusable scratch of single-band Hamiltonian
 // applications: the N³ FFT grid buffer and the Np coefficient buffer
 // that Apply previously allocated on every call. One workspace serves
@@ -67,9 +76,14 @@ func (h *Hamiltonian) Apply(psi, out []complex128, ws *ApplyWorkspace) {
 		out[i] = complex(g2/2, 0) * psi[i]
 	}
 	// Local potential part via FFT.
-	b.ToRealSpace(psi, ws.grid)
-	for i, v := range h.Vloc {
-		ws.grid[i] *= complex(v, 0)
+	if fuseVloc {
+		b.Scatter(psi, ws.grid)
+		b.plan.InverseRawMulReal(ws.grid, h.Vloc)
+	} else {
+		b.ToRealSpace(psi, ws.grid)
+		for i, v := range h.Vloc {
+			ws.grid[i] *= complex(v, 0)
+		}
 	}
 	b.FromRealSpace(ws.grid, ws.tmp)
 	for i := range out {
@@ -102,17 +116,26 @@ func (h *Hamiltonian) ApplyAllInto(psi, out *linalg.CMatrix) {
 	defer phApplyH.Start().StopFlops(h.applyAllFlops(nb))
 	size := b.Grid.Size()
 	batch := b.GetBatch(nb * size)
-	// Local potential: scatter → batched inverse FFT → ×Vloc →
-	// batched forward FFT → gather (fused with the kinetic term below).
-	b.ToRealSpaceBatch(psi, batch)
-	parallelRange(nb, func(lo, hi int) {
-		for n := lo; n < hi; n++ {
-			g := batch[n*size : (n+1)*size]
-			for i, v := range h.Vloc {
-				g[i] *= complex(v, 0)
-			}
+	// Local potential: scatter → batched inverse FFT ×Vloc (fused into
+	// the transform's x-pass; the raw inverse is exactly the N³-scaled
+	// plane-wave convention) → batched forward FFT → gather (fused with
+	// the kinetic term below).
+	if fuseVloc {
+		for n := 0; n < nb; n++ {
+			b.scatterColumn(psi, n, batch[n*size:(n+1)*size])
 		}
-	})
+		b.plan.InverseRawMulRealBatch(batch[:nb*size], nb, h.Vloc)
+	} else {
+		b.ToRealSpaceBatch(psi, batch)
+		parallelRange(nb, func(lo, hi int) {
+			for n := lo; n < hi; n++ {
+				g := batch[n*size : (n+1)*size]
+				for i, v := range h.Vloc {
+					g[i] *= complex(v, 0)
+				}
+			}
+		})
+	}
 	b.plan.ForwardBatch(batch[:nb*size], nb)
 	// out(G,n) = ½G² ψ(G,n) + (1/N³)·(VlocψR)(G,n), assembled row-wise so
 	// the matrix accesses stay contiguous.
