@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt check race bench bench-smoke serve-smoke bench-cache bench-multigrid bce
+.PHONY: build test vet fmt check race bench bench-smoke serve-smoke cluster-smoke bench-cache bench-multigrid bench-serve bce
 
 build:
 	$(GO) build ./...
@@ -42,7 +42,7 @@ bce:
 # concurrent Cached3 lookups, job submission/cancellation races, and the
 # warm-start cache's concurrent get/put path.
 race: vet
-	$(GO) test -race -short . ./internal/fft/... ./internal/pw/... ./internal/pseudo/... ./internal/bsd/... ./internal/qio/... ./internal/core/... ./internal/perf/... ./internal/md/... ./internal/serve/... ./internal/cache/...
+	$(GO) test -race -short . ./internal/fft/... ./internal/pw/... ./internal/pseudo/... ./internal/bsd/... ./internal/qio/... ./internal/core/... ./internal/perf/... ./internal/md/... ./internal/serve/... ./internal/serve/lease/... ./internal/waitfor/... ./internal/cache/...
 
 # serve-smoke drives the built qmdd daemon end to end over HTTP: start
 # on a random port, submit a tiny 2-atom job and poll it to completion,
@@ -52,6 +52,16 @@ race: vet
 # every PR.
 serve-smoke:
 	$(GO) test -run TestQMDDSmoke -count=1 -v ./cmd/qmdd/
+
+# cluster-smoke is the fault-injecting multi-node gate: 1 coordinator +
+# 2 worker nodes as separate OS processes, a job array submitted through
+# qmdctl, SIGKILL of the worker holding the longest job mid-trajectory,
+# then assertions that the orphaned job is requeued after lease expiry
+# and finished by the surviving node with energies bitwise identical to
+# an uninterrupted standalone run — and that the dead worker's lease
+# epoch is fenced with 409. CI runs this on every PR.
+cluster-smoke:
+	$(GO) test -run TestClusterSmoke -count=1 -timeout 10m -v ./cmd/qmdd/
 
 bench: bench-fft
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
@@ -83,3 +93,11 @@ bench-multigrid:
 bench-cache:
 	$(GO) test -run '^$$' -bench 'Benchmark(Cache|EntryCodec)' -benchtime 2s ./internal/cache/ | $(GO) run ./cmd/benchjson > BENCH_cache.json
 	@cat BENCH_cache.json
+
+# bench-serve benchmarks the coordinator's scheduling hot paths — the
+# cost-aware queue pick, the submit→acquire→complete lease cycle, and
+# renewal heartbeats under fleet-scale contention — and records the
+# results in BENCH_serve.json.
+bench-serve:
+	$(GO) test -run '^$$' -bench 'Benchmark(QueueCostPick|LeaseAcquireComplete|LeaseRenew)' -benchtime 2s ./internal/serve/ | $(GO) run ./cmd/benchjson > BENCH_serve.json
+	@cat BENCH_serve.json

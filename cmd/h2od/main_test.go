@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"ldcdft/internal/qio"
+	"ldcdft/internal/waitfor"
 )
 
 func buildH2od(t *testing.T) string {
@@ -60,12 +61,19 @@ func TestSIGINTWritesFinalCheckpoint(t *testing.T) {
 	}
 	bin := buildH2od(t)
 	ck := filepath.Join(t.TempDir(), "ck.h2o")
-	cmd := exec.Command(bin, "-pairs", "6", "-steps", "2000000", "-checkpoint", ck, "-checkpoint-every", "1000000")
+	cmd := exec.Command(bin, "-pairs", "6", "-steps", "2000000", "-checkpoint", ck, "-checkpoint-every", "2000")
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
 	defer cmd.Process.Kill()
-	time.Sleep(1500 * time.Millisecond) // let the trajectory get going
+	// The trajectory is "going" once the first periodic checkpoint lands
+	// on disk — deterministic readiness instead of a fixed sleep.
+	if !waitfor.Until(time.Minute, func() bool {
+		_, err := os.Stat(ck)
+		return err == nil
+	}) {
+		t.Fatal("no periodic checkpoint appeared")
+	}
 	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
 		t.Fatal(err)
 	}

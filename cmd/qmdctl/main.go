@@ -1,0 +1,293 @@
+// Command qmdctl is the client CLI for a qmdd daemon (standalone or
+// coordinator — the public job API is identical).
+//
+// Usage:
+//
+//	qmdctl [-addr http://127.0.0.1:8432] <command> [args]
+//
+// Commands:
+//
+//	submit <spec.json | ->   submit jobs; prints one job ID per line.
+//	                         The file may hold a single JobSpec object,
+//	                         a JSON array of specs, or a batch envelope
+//	                         {"jobs": [...]} — arrays submit as a job
+//	                         array, in order.
+//	status <id>              print the job's state as JSON.
+//	list                     one line per known job: id, status,
+//	                         progress, worker, name.
+//	cancel <id>              cancel a queued or running job.
+//	watch <id>               stream the job's SSE events until it
+//	                         finishes.
+//	wait <id>...             poll until every listed job is terminal;
+//	                         exit 1 if any failed or was cancelled.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8432", "qmdd base URL")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: qmdctl [-addr URL] {submit|status|list|cancel|watch|wait} [args]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	c := client{base: strings.TrimRight(*addr, "/")}
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var err error
+	switch cmd, rest := args[0], args[1:]; cmd {
+	case "submit":
+		err = c.submit(rest)
+	case "status":
+		err = c.status(rest)
+	case "list":
+		err = c.list(rest)
+	case "cancel":
+		err = c.cancel(rest)
+	case "watch":
+		err = c.watch(rest)
+	case "wait":
+		err = c.wait(rest)
+	default:
+		err = fmt.Errorf("unknown command %q", cmd)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qmdctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type client struct{ base string }
+
+// jobState mirrors the fields of serve.JobState this CLI presents. The
+// raw JSON is passed through for status, so unknown fields survive.
+type jobState struct {
+	ID        string `json:"id"`
+	Name      string `json:"name"`
+	Status    string `json:"status"`
+	Steps     int    `json:"steps"`
+	StepsDone int    `json:"steps_done"`
+	Worker    string `json:"worker"`
+	Error     string `json:"error"`
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// do issues a request and decodes an API error envelope on non-2xx.
+func (c client) do(method, path string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 300 {
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		var ae apiError
+		if json.Unmarshal(raw, &ae) == nil && ae.Error != "" {
+			return nil, fmt.Errorf("%s: %s", resp.Status, ae.Error)
+		}
+		return nil, fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(raw))
+	}
+	return resp, nil
+}
+
+// splitSpecs accepts a single spec object, an array of specs, or a
+// {"jobs": [...]} envelope, and returns the specs as raw JSON values.
+func splitSpecs(raw []byte) ([]json.RawMessage, error) {
+	raw = bytes.TrimSpace(raw)
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("empty job spec input")
+	}
+	if raw[0] == '[' {
+		var arr []json.RawMessage
+		if err := json.Unmarshal(raw, &arr); err != nil {
+			return nil, fmt.Errorf("invalid job array: %w", err)
+		}
+		return arr, nil
+	}
+	var envelope struct {
+		Jobs []json.RawMessage `json:"jobs"`
+	}
+	if err := json.Unmarshal(raw, &envelope); err != nil {
+		return nil, fmt.Errorf("invalid job spec: %w", err)
+	}
+	if envelope.Jobs != nil {
+		return envelope.Jobs, nil
+	}
+	return []json.RawMessage{raw}, nil
+}
+
+func (w client) submit(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: qmdctl submit <spec.json | ->")
+	}
+	var raw []byte
+	var err error
+	if args[0] == "-" {
+		raw, err = io.ReadAll(os.Stdin)
+	} else {
+		raw, err = os.ReadFile(args[0])
+	}
+	if err != nil {
+		return err
+	}
+	specs, err := splitSpecs(raw)
+	if err != nil {
+		return err
+	}
+	for i, spec := range specs {
+		resp, err := w.do(http.MethodPost, "/v1/jobs", bytes.NewReader(spec))
+		if err != nil {
+			return fmt.Errorf("job %d/%d: %w", i+1, len(specs), err)
+		}
+		var st jobState
+		derr := json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if derr != nil {
+			return derr
+		}
+		fmt.Println(st.ID)
+	}
+	return nil
+}
+
+func (c client) status(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: qmdctl status <id>")
+	}
+	resp, err := c.do(http.MethodGet, "/v1/jobs/"+args[0], nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}
+
+func (c client) list(args []string) error {
+	if len(args) != 0 {
+		return fmt.Errorf("usage: qmdctl list")
+	}
+	resp, err := c.do(http.MethodGet, "/v1/jobs", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var jobs []jobState
+	if err := json.NewDecoder(resp.Body).Decode(&jobs); err != nil {
+		return err
+	}
+	tw := bufio.NewWriter(os.Stdout)
+	defer tw.Flush()
+	fmt.Fprintf(tw, "%-12s %-10s %-9s %-16s %s\n", "ID", "STATUS", "STEPS", "WORKER", "NAME")
+	for _, j := range jobs {
+		fmt.Fprintf(tw, "%-12s %-10s %4d/%-4d %-16s %s\n",
+			j.ID, j.Status, j.StepsDone, j.Steps, j.Worker, j.Name)
+	}
+	return nil
+}
+
+func (c client) cancel(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: qmdctl cancel <id>")
+	}
+	resp, err := c.do(http.MethodDelete, "/v1/jobs/"+args[0], nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var st jobState
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return err
+	}
+	fmt.Printf("%s %s\n", st.ID, st.Status)
+	return nil
+}
+
+// watch streams the job's server-sent events, one line per event, until
+// the terminal "done" event.
+func (c client) watch(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: qmdctl watch <id>")
+	}
+	resp, err := c.do(http.MethodGet, "/v1/jobs/"+args[0]+"/events", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if data, ok := strings.CutPrefix(line, "data: "); ok {
+			fmt.Println(data)
+		}
+	}
+	return sc.Err()
+}
+
+// wait polls until every listed job is terminal. Exit status 1 (via the
+// returned error) if any failed or was cancelled.
+func (c client) wait(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: qmdctl wait <id>...")
+	}
+	pending := make(map[string]bool, len(args))
+	for _, id := range args {
+		pending[id] = true
+	}
+	var bad []string
+	for len(pending) > 0 {
+		for id := range pending {
+			resp, err := c.do(http.MethodGet, "/v1/jobs/"+id, nil)
+			if err != nil {
+				return err
+			}
+			var st jobState
+			derr := json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if derr != nil {
+				return derr
+			}
+			switch st.Status {
+			case "completed":
+				fmt.Printf("%s completed (%d steps)\n", id, st.StepsDone)
+				delete(pending, id)
+			case "failed", "cancelled":
+				fmt.Printf("%s %s: %s\n", id, st.Status, st.Error)
+				bad = append(bad, id)
+				delete(pending, id)
+			}
+		}
+		if len(pending) > 0 {
+			time.Sleep(250 * time.Millisecond)
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("%d job(s) did not complete: %s", len(bad), strings.Join(bad, ", "))
+	}
+	return nil
+}

@@ -1,9 +1,22 @@
-// Command qmdd is the QMD job-serving daemon: it exposes the
-// internal/serve HTTP API (submit, status, cancel, SSE event streams,
-// health, Prometheus metrics) over a durable job store, runs
-// trajectories on a bounded worker pool with admission control, and
-// drains gracefully on SIGTERM/SIGINT — checkpointing running jobs so a
-// restarted daemon resumes them where they stopped.
+// Command qmdd is the QMD job-serving daemon. It runs in one of three
+// modes:
+//
+//   - standalone (default): the single-node daemon — the internal/serve
+//     HTTP API (submit, status, cancel, SSE event streams, health,
+//     Prometheus metrics) over a durable job store, trajectories on a
+//     bounded in-process worker pool with admission control.
+//   - coordinator: the same public API, but no local trajectory pool —
+//     worker nodes lease jobs over the /v1/lease API, heartbeat them,
+//     upload checkpoints at step boundaries, and report completion.
+//     A worker that crashes or partitions loses its lease after
+//     -lease-ttl; the job is requeued and resumed bit-for-bit from its
+//     last uploaded checkpoint by the next node, and the old worker's
+//     late calls are fenced off by the lease epoch.
+//   - worker: a trajectory node — leases jobs from -coordinator, runs
+//     them with -slots-way concurrency, and drains cooperatively on
+//     SIGTERM (final checkpoint uploaded, lease released).
+//
+// All modes drain gracefully on SIGTERM/SIGINT.
 //
 // Jobs share a content-addressed SCF warm-start cache (qmdd_cache_*
 // on /metrics): resubmitting an identical structure skips its SCF
@@ -13,6 +26,8 @@
 // Usage:
 //
 //	qmdd -addr 127.0.0.1:8432 -data ./qmdd-data -workers 2 -queue-cap 16
+//	qmdd -mode coordinator -addr :8432 -data ./qmdd-data -lease-ttl 15s
+//	qmdd -mode worker -coordinator http://head:8432 -slots 2 -data ./scratch
 //
 // Submitting a job:
 //
@@ -38,14 +53,19 @@ import (
 )
 
 func main() {
+	mode := flag.String("mode", "standalone", "standalone | coordinator | worker")
 	addr := flag.String("addr", "127.0.0.1:8432", "listen address (host:port; port 0 picks a free port)")
-	data := flag.String("data", "qmdd-data", "durable job store directory")
-	workers := flag.Int("workers", 2, "concurrent trajectory workers")
+	data := flag.String("data", "qmdd-data", "durable job store directory (worker mode: local scratch root)")
+	workers := flag.Int("workers", 2, "concurrent trajectory workers (standalone mode)")
 	queueCap := flag.Int("queue-cap", 16, "pending-queue capacity (excess submissions get 429)")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown budget for checkpointing running jobs")
 	cacheDir := flag.String("cache-dir", "", "SCF warm-start cache directory (default <data>/cache)")
 	cacheBytes := flag.Int64("cache-bytes", 256<<20, "warm-start cache byte budget (0 disables the cache)")
 	cacheTol := flag.Float64("cache-tol", 0.25, "near-hit tolerance: max per-atom displacement (Bohr) at which a cached density seeds SCF")
+	coordinator := flag.String("coordinator", "http://127.0.0.1:8432", "coordinator base URL (worker mode)")
+	name := flag.String("name", "", "worker node name (worker mode; default host:pid)")
+	slots := flag.Int("slots", 2, "concurrent leased trajectories (worker mode)")
+	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "job lease TTL: a worker silent this long loses its jobs (coordinator mode)")
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("qmdd: ")
@@ -58,36 +78,56 @@ func main() {
 	if *cacheTol < 0 {
 		log.Fatalf("-cache-tol must be non-negative, got %g", *cacheTol)
 	}
-	if err := run(*addr, *data, *workers, *queueCap, *drainTimeout,
-		*cacheDir, *cacheBytes, *cacheTol); err != nil {
+	var err error
+	switch *mode {
+	case "standalone", "coordinator":
+		err = runServe(*mode == "coordinator", *addr, *data, *workers, *queueCap,
+			*drainTimeout, *leaseTTL, *cacheDir, *cacheBytes, *cacheTol)
+	case "worker":
+		err = runWorker(*coordinator, *name, *data, *slots, *cacheDir, *cacheBytes, *cacheTol)
+	default:
+		err = fmt.Errorf("unknown -mode %q (want standalone, coordinator, or worker)", *mode)
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, data string, workers, queueCap int, drainTimeout time.Duration,
-	cacheDir string, cacheBytes int64, cacheTol float64) error {
-	var wsc *cache.Cache
-	if cacheBytes > 0 {
-		if cacheDir == "" {
-			cacheDir = filepath.Join(data, "cache")
-		}
-		var err error
-		wsc, err = cache.Open(cache.Options{Dir: cacheDir, MaxBytes: cacheBytes, NearTol: cacheTol})
-		if err != nil {
-			return err
-		}
-		st := wsc.Stats()
-		log.Printf("warm-start cache at %s (budget %d bytes, near tolerance %g Bohr, %d entries recovered)",
-			cacheDir, cacheBytes, cacheTol, st.Entries)
-	} else {
+// openCache opens the warm-start cache per the -cache-* flags; nil (and
+// no error) when disabled.
+func openCache(data, cacheDir string, cacheBytes int64, cacheTol float64) (*cache.Cache, error) {
+	if cacheBytes <= 0 {
 		log.Printf("warm-start cache disabled")
+		return nil, nil
+	}
+	if cacheDir == "" {
+		cacheDir = filepath.Join(data, "cache")
+	}
+	wsc, err := cache.Open(cache.Options{Dir: cacheDir, MaxBytes: cacheBytes, NearTol: cacheTol})
+	if err != nil {
+		return nil, err
+	}
+	st := wsc.Stats()
+	log.Printf("warm-start cache at %s (budget %d bytes, near tolerance %g Bohr, %d entries recovered)",
+		cacheDir, cacheBytes, cacheTol, st.Entries)
+	return wsc, nil
+}
+
+// runServe hosts the HTTP API in standalone or coordinator mode.
+func runServe(distributed bool, addr, data string, workers, queueCap int,
+	drainTimeout, leaseTTL time.Duration, cacheDir string, cacheBytes int64, cacheTol float64) error {
+	wsc, err := openCache(data, cacheDir, cacheBytes, cacheTol)
+	if err != nil {
+		return err
 	}
 	mgr, err := serve.NewManager(serve.Config{
-		DataDir:  data,
-		Workers:  workers,
-		QueueCap: queueCap,
-		Cache:    wsc,
-		Logf:     log.Printf,
+		DataDir:     data,
+		Workers:     workers,
+		QueueCap:    queueCap,
+		Cache:       wsc,
+		Logf:        log.Printf,
+		Distributed: distributed,
+		LeaseTTL:    leaseTTL,
 	})
 	if err != nil {
 		return err
@@ -97,9 +137,14 @@ func run(addr, data string, workers, queueCap int, drainTimeout time.Duration,
 		return err
 	}
 	// The resolved address line is the daemon's readiness signal —
-	// scripts (and the smoke test) parse the port out of it.
-	log.Printf("listening on %s (data %s, %d workers, queue capacity %d)",
-		ln.Addr(), data, workers, queueCap)
+	// scripts (and the smoke tests) parse the port out of it.
+	if distributed {
+		log.Printf("listening on %s (coordinator, data %s, queue capacity %d, lease TTL %s)",
+			ln.Addr(), data, queueCap, leaseTTL)
+	} else {
+		log.Printf("listening on %s (data %s, %d workers, queue capacity %d)",
+			ln.Addr(), data, workers, queueCap)
+	}
 
 	srv := &http.Server{Handler: mgr.Handler()}
 	serveErr := make(chan error, 1)
@@ -126,6 +171,49 @@ func run(addr, data string, workers, queueCap int, drainTimeout time.Duration,
 	if err := srv.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("http shutdown: %v", err)
 	}
+	log.Printf("shutdown complete")
+	return nil
+}
+
+// runWorker runs a trajectory node against a coordinator until
+// SIGTERM/SIGINT, then drains: each in-flight job uploads a final
+// checkpoint and releases its lease so the coordinator requeues it
+// immediately.
+func runWorker(coordinator, name, data string, slots int,
+	cacheDir string, cacheBytes int64, cacheTol float64) error {
+	if name == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		name = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	wsc, err := openCache(data, cacheDir, cacheBytes, cacheTol)
+	if err != nil {
+		return err
+	}
+	w, err := serve.NewWorker(serve.WorkerConfig{
+		Coordinator: coordinator,
+		Name:        name,
+		Slots:       slots,
+		WorkDir:     filepath.Join(data, "scratch"),
+		Cache:       wsc,
+		Logf:        log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	// Readiness line, the worker-mode analogue of "listening on".
+	log.Printf("worker %s leasing from %s (%d slots, scratch %s)", name, coordinator, slots, data)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan struct{})
+	go func() { defer close(done); w.Run(ctx) }()
+	<-ctx.Done()
+	stop()
+	log.Printf("signal received; draining (releasing leases)")
+	<-done
 	log.Printf("shutdown complete")
 	return nil
 }

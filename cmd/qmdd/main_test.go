@@ -14,6 +14,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"ldcdft/internal/waitfor"
 )
 
 // TestQMDDSmoke exercises the built daemon binary end to end: start on
@@ -43,12 +45,15 @@ func TestQMDDSmoke(t *testing.T) {
 	// Readiness: the daemon's first log line carries the resolved port.
 	listenRe := regexp.MustCompile(`listening on (\S+) `)
 	var base string
-	for deadline := time.Now().Add(30 * time.Second); base == ""; time.Sleep(10 * time.Millisecond) {
-		if m := listenRe.FindStringSubmatch(logs.String()); m != nil {
-			base = "http://" + m[1]
-		} else if time.Now().After(deadline) {
-			t.Fatalf("no listen line in daemon output:\n%s", logs.String())
+	if !waitfor.Until(30*time.Second, func() bool {
+		m := listenRe.FindStringSubmatch(logs.String())
+		if m == nil {
+			return false
 		}
+		base = "http://" + m[1]
+		return true
+	}) {
+		t.Fatalf("no listen line in daemon output:\n%s", logs.String())
 	}
 
 	get := func(path string) (int, string) {
@@ -104,17 +109,14 @@ func TestQMDDSmoke(t *testing.T) {
 	}
 	waitFor := func(id string, cond func(map[string]any) bool, what string) map[string]any {
 		t.Helper()
-		deadline := time.Now().Add(2 * time.Minute)
-		for {
-			st := status(id)
-			if cond(st) {
-				return st
-			}
-			if time.Now().After(deadline) {
-				t.Fatalf("timed out waiting for %s of %s: %v", what, id, st)
-			}
-			time.Sleep(25 * time.Millisecond)
+		var st map[string]any
+		if !waitfor.Until(2*time.Minute, func() bool {
+			st = status(id)
+			return cond(st)
+		}) {
+			t.Fatalf("timed out waiting for %s of %s: %v", what, id, st)
 		}
+		return st
 	}
 
 	// First job completes with per-step energies.

@@ -1,0 +1,296 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"ldcdft/internal/serve/lease"
+)
+
+// ErrNotCoordinator rejects lease-API calls on a manager that was not
+// created with Config.Distributed.
+var ErrNotCoordinator = errors.New("serve: lease API requires coordinator mode")
+
+// ErrNoCheckpoint marks a checkpoint download for a job that has not
+// uploaded one yet (fresh job: the worker starts the trajectory from
+// the spec instead).
+var ErrNoCheckpoint = errors.New("serve: job has no checkpoint")
+
+// LeaseGrant is the coordinator's answer to a successful acquire: the
+// job, the fencing epoch every subsequent call must present, the TTL
+// the worker has to renew within, and whether a checkpoint exists to
+// resume from (downloaded separately via the checkpoint endpoint).
+type LeaseGrant struct {
+	JobID         string        `json:"job_id"`
+	Spec          JobSpec       `json:"spec"`
+	Epoch         int64         `json:"epoch"`
+	TTL           time.Duration `json:"ttl_ns"`
+	StepsDone     int           `json:"steps_done"`
+	HasCheckpoint bool          `json:"has_checkpoint"`
+}
+
+// CompleteRequest is a worker's terminal report on a lease.
+type CompleteRequest struct {
+	Worker string `json:"worker,omitempty"`
+	Epoch  int64  `json:"epoch"`
+	// Status is the outcome: "completed" (Report carries the full
+	// trajectory record), "failed" (Error explains), or "released"
+	// (worker drain — the job goes back in the queue and is resumed
+	// from its last uploaded checkpoint by the next worker).
+	Status string    `json:"status"`
+	Error  string    `json:"error,omitempty"`
+	Report RunReport `json:"report"`
+}
+
+// Acquire leases the best pending job to worker, long-polling up to
+// wait when the queue is empty: (nil, nil) means no work arrived in
+// time — the worker just polls again. The pick is cost-aware: highest
+// priority first, then largest estimated remaining cost (see
+// JobSpec.EstimatedCost), so the fleet's makespan is not at the mercy
+// of FIFO arrival order. The grant increments and persists the job's
+// lease epoch before returning — the fence against the previous
+// holder.
+func (m *Manager) Acquire(ctx context.Context, worker string, wait time.Duration) (*LeaseGrant, error) {
+	if m.leases == nil {
+		return nil, ErrNotCoordinator
+	}
+	if worker == "" {
+		return nil, fmt.Errorf("serve: lease acquire requires a worker name")
+	}
+	deadline := time.Now().Add(wait)
+	// Both wakeup sources Broadcast while holding the manager lock, so
+	// a waiter between its condition check and cond.Wait cannot miss
+	// the only wakeup it was going to get.
+	wake := func() { m.mu.Lock(); m.cond.Broadcast(); m.mu.Unlock() }
+	timer := time.AfterFunc(wait, wake)
+	defer timer.Stop()
+	stop := context.AfterFunc(ctx, wake)
+	defer stop()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if m.draining {
+			return nil, ErrShuttingDown
+		}
+		if m.queue.Len() > 0 {
+			return m.grantLocked(m.queue.pop(), worker), nil
+		}
+		if ctx.Err() != nil || !time.Now().Before(deadline) {
+			return nil, nil
+		}
+		m.cond.Wait()
+	}
+}
+
+// grantLocked marks j leased to worker under the next epoch and builds
+// the grant. Callers hold the manager lock.
+func (m *Manager) grantLocked(j *job, worker string) *LeaseGrant {
+	j.state.LeaseEpoch++
+	j.state.Worker = worker
+	j.state.Status = StatusRunning
+	if j.state.StartedAt.IsZero() {
+		j.state.StartedAt = time.Now().UTC()
+	}
+	if err := m.persistState(j); err != nil {
+		m.cfg.Logf("serve: persist %s: %v", j.id, err)
+	}
+	l := m.leases.Grant(j.id, worker, j.state.LeaseEpoch, time.Now())
+	m.leasesGranted++
+	m.running++
+	m.broadcast(j, Event{Type: "status", Status: StatusRunning, Step: j.state.StepsDone})
+	_, ckErr := os.Stat(m.root.CheckpointPath(j.id))
+	m.cfg.Logf("serve: job %s leased to %s (epoch %d, %d/%d steps done)",
+		j.id, worker, l.Epoch, j.state.StepsDone, j.spec.Steps)
+	return &LeaseGrant{
+		JobID:         j.id,
+		Spec:          j.spec,
+		Epoch:         l.Epoch,
+		TTL:           m.leases.TTL(),
+		StepsDone:     j.state.StepsDone,
+		HasCheckpoint: ckErr == nil,
+	}
+}
+
+// leasedLocked resolves id to its job iff it is actively leased under
+// exactly epoch, counting fencing rejections. Callers hold the lock.
+func (m *Manager) leasedLocked(id string, epoch int64) (*job, error) {
+	j := m.jobs[id]
+	if j == nil {
+		return nil, ErrNotFound
+	}
+	if err := m.leases.Check(id, epoch); err != nil {
+		m.staleRejected++
+		return nil, err
+	}
+	return j, nil
+}
+
+// RenewLease extends the lease by one TTL — the worker heartbeat.
+// Returns the refreshed TTL, or a fencing error (ErrNotLeased /
+// ErrStale, both 409 over HTTP) that tells the worker its claim is
+// gone and the trajectory must be abandoned.
+func (m *Manager) RenewLease(id string, epoch int64) (time.Duration, error) {
+	if m.leases == nil {
+		return 0, ErrNotCoordinator
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, err := m.leasedLocked(id, epoch); err != nil {
+		return 0, err
+	}
+	if _, err := m.leases.Renew(id, epoch, time.Now()); err != nil {
+		m.staleRejected++
+		return 0, err
+	}
+	return m.leases.TTL(), nil
+}
+
+// LeaseProgress records a completed MD step reported by the lease
+// holder and streams it to the job's subscribers — the distributed
+// analogue of the in-process onStep hook.
+func (m *Manager) LeaseProgress(id string, epoch int64, step int, energyHa, tempK float64) error {
+	if m.leases == nil {
+		return ErrNotCoordinator
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, err := m.leasedLocked(id, epoch)
+	if err != nil {
+		return err
+	}
+	j.state.StepsDone = step
+	j.state.EnergiesHa = appendBounded(j.state.EnergiesHa, energyHa)
+	j.state.TemperaturesK = appendBounded(j.state.TemperaturesK, tempK)
+	m.broadcast(j, Event{Type: "step", Status: StatusRunning, Step: step, EnergyHa: energyHa, TempK: tempK})
+	return nil
+}
+
+// PutLeaseCheckpoint stores an uploaded trajectory checkpoint as the
+// job's durable resume point. The body is streamed to a temp file
+// first; the lease is re-verified under the manager lock immediately
+// before the atomic rename, so a zombie whose lease lapsed while its
+// upload was in flight can never clobber the new holder's checkpoint.
+func (m *Manager) PutLeaseCheckpoint(id string, epoch int64, r io.Reader) error {
+	if m.leases == nil {
+		return ErrNotCoordinator
+	}
+	m.mu.Lock()
+	j, err := m.leasedLocked(id, epoch)
+	if err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	dir := j.dir
+	m.mu.Unlock()
+
+	tmp, err := os.CreateTemp(dir, "upload-*.ck")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	_, err = io.Copy(tmp, r)
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("serve: checkpoint upload for %s: %w", id, err)
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, err := m.leasedLocked(id, epoch); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), m.root.CheckpointPath(id)); err != nil {
+		return fmt.Errorf("serve: checkpoint upload for %s: %w", id, err)
+	}
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// OpenLeaseCheckpoint opens the job's stored checkpoint for download by
+// the lease holder (the resume path after a requeue).
+func (m *Manager) OpenLeaseCheckpoint(id string, epoch int64) (io.ReadCloser, error) {
+	if m.leases == nil {
+		return nil, ErrNotCoordinator
+	}
+	m.mu.Lock()
+	_, err := m.leasedLocked(id, epoch)
+	m.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(m.root.CheckpointPath(id))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, ErrNoCheckpoint
+	}
+	return f, err
+}
+
+// CompleteLease resolves a lease with the worker's terminal report:
+// "completed" and "failed" end the job, "released" (worker drain)
+// requeues it for the next worker to resume from the last uploaded
+// checkpoint. The epoch fence applies here too — a zombie cannot
+// complete a job that has been reassigned.
+func (m *Manager) CompleteLease(id string, req CompleteRequest) (*JobState, error) {
+	if m.leases == nil {
+		return nil, ErrNotCoordinator
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, err := m.leasedLocked(id, req.Epoch)
+	if err != nil {
+		return nil, err
+	}
+	m.leases.Drop(j.id)
+	if rep := req.Report; rep.Steps > 0 {
+		j.state.StepsDone = rep.Steps
+		j.state.SCFIterations = rep.SCFIterations
+		j.state.EnergiesHa = boundedTail(rep.EnergiesHa)
+		j.state.TemperaturesK = boundedTail(rep.TemperaturesK)
+	}
+	switch req.Status {
+	case "completed":
+		j.state.Status = StatusCompleted
+		m.completed++
+	case "failed":
+		j.state.Status = StatusFailed
+		j.state.Error = req.Error
+		m.failed++
+	case "released":
+		m.requeueLocked(j, fmt.Sprintf("released by worker %s", j.state.Worker))
+		return j.state.clone(), nil
+	default:
+		// Leave the lease intact? No: the worker is done either way.
+		// Requeue so the job is not stranded, and report the protocol
+		// error.
+		m.requeueLocked(j, "unknown completion status")
+		return nil, fmt.Errorf("serve: unknown completion status %q", req.Status)
+	}
+	m.running--
+	j.state.FinishedAt = time.Now().UTC()
+	if perr := m.persistState(j); perr != nil {
+		m.cfg.Logf("serve: persist %s: %v", j.id, perr)
+	}
+	m.cfg.Logf("serve: job %s %s after %d steps (worker %s)",
+		j.id, j.state.Status, j.state.StepsDone, j.state.Worker)
+	m.finishBroadcast(j)
+	return j.state.clone(), nil
+}
+
+// leaseErrIsFencing reports whether err is one of the 409-mapped lease
+// fencing failures.
+func leaseErrIsFencing(err error) bool {
+	return errors.Is(err, lease.ErrNotLeased) || errors.Is(err, lease.ErrStale)
+}

@@ -1,0 +1,549 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ldcdft/internal/serve/lease"
+	"ldcdft/internal/waitfor"
+)
+
+// newCoordinator builds a Manager in Distributed (coordinator) mode:
+// no local worker pool, jobs only move via the lease API.
+func newCoordinator(t *testing.T, dir string, ttl time.Duration) *Manager {
+	t.Helper()
+	m, err := NewManager(Config{
+		DataDir: dir, QueueCap: 32, Distributed: true, LeaseTTL: ttl, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func mustSubmit(t *testing.T, m *Manager, spec JobSpec) *JobState {
+	t.Helper()
+	st, err := m.Submit(spec)
+	if err != nil {
+		t.Fatalf("submit %s: %v", spec.Name, err)
+	}
+	return st
+}
+
+func mustAcquire(t *testing.T, m *Manager, worker string) *LeaseGrant {
+	t.Helper()
+	g, err := m.Acquire(context.Background(), worker, 0)
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	if g == nil {
+		t.Fatal("acquire: no job available")
+	}
+	return g
+}
+
+// The coordinator's pick is priority first, then largest estimated
+// remaining cost — not submission order.
+func TestAcquireCostAwarePick(t *testing.T) {
+	m := newCoordinator(t, t.TempDir(), time.Minute)
+	defer shutdown(t, m)
+	small := validSpec("small", 2)
+	big := validSpec("big", 10)
+	pri := validSpec("pri", 1)
+	pri.Priority = 3
+	mustSubmit(t, m, small)
+	mustSubmit(t, m, big)
+	mustSubmit(t, m, pri)
+
+	var order []string
+	for i := 0; i < 3; i++ {
+		order = append(order, mustAcquire(t, m, "w1").Spec.Name)
+	}
+	want := []string{"pri", "big", "small"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("grant order %v, want %v", order, want)
+		}
+	}
+	if g, err := m.Acquire(context.Background(), "w1", 0); err != nil || g != nil {
+		t.Fatalf("empty queue acquire: got (%v, %v), want (nil, nil)", g, err)
+	}
+}
+
+// A long-polling acquire parked on an empty queue wakes as soon as a
+// job is submitted.
+func TestAcquireLongPollWakesOnSubmit(t *testing.T) {
+	m := newCoordinator(t, t.TempDir(), time.Minute)
+	defer shutdown(t, m)
+	type result struct {
+		g   *LeaseGrant
+		err error
+	}
+	got := make(chan result, 1)
+	go func() {
+		g, err := m.Acquire(context.Background(), "w1", 10*time.Second)
+		got <- result{g, err}
+	}()
+	time.Sleep(20 * time.Millisecond) // let the poller park
+	mustSubmit(t, m, validSpec("a", 1))
+	select {
+	case r := <-got:
+		if r.err != nil || r.g == nil || r.g.Spec.Name != "a" {
+			t.Fatalf("long poll returned (%+v, %v)", r.g, r.err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("long poll did not wake on submit")
+	}
+}
+
+// An acquire whose context is cancelled returns promptly with no grant.
+func TestAcquireContextCancel(t *testing.T) {
+	m := newCoordinator(t, t.TempDir(), time.Minute)
+	defer shutdown(t, m)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if g, err := m.Acquire(ctx, "w1", time.Minute); err != nil || g != nil {
+			t.Errorf("cancelled acquire returned (%v, %v)", g, err)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled acquire did not return")
+	}
+}
+
+// The core fault-tolerance path: a lease whose worker goes silent
+// expires and the job is requeued; the next grant carries a higher
+// epoch, and every call presenting the dead worker's epoch is fenced
+// off with ErrStale.
+func TestLeaseExpiryRequeuesAndFencesZombie(t *testing.T) {
+	m := newCoordinator(t, t.TempDir(), 60*time.Millisecond)
+	defer shutdown(t, m)
+	st := mustSubmit(t, m, validSpec("a", 5))
+	g1 := mustAcquire(t, m, "doomed")
+	if g1.Epoch != 1 || g1.HasCheckpoint {
+		t.Fatalf("first grant %+v, want epoch 1 and no checkpoint", g1)
+	}
+	if got, _ := m.Get(st.ID); got.Worker != "doomed" || got.Status != StatusRunning {
+		t.Fatalf("leased state %+v", got)
+	}
+
+	// No renewals: the expiry scan must requeue the job.
+	if !waitfor.Until(5*time.Second, func() bool {
+		s, _ := m.Get(st.ID)
+		return s.Status == StatusQueued
+	}) {
+		t.Fatal("expired lease was not requeued")
+	}
+	if c := m.Stats(); c.LeasesExpired != 1 || c.LeasesActive != 0 || c.Running != 0 {
+		t.Fatalf("post-expiry counters %+v", c)
+	}
+
+	g2 := mustAcquire(t, m, "fresh")
+	if g2.Epoch != g1.Epoch+1 {
+		t.Fatalf("re-grant epoch %d, want %d", g2.Epoch, g1.Epoch+1)
+	}
+	// Keep the new lease alive while poking it with the zombie's epoch.
+	if _, err := m.RenewLease(st.ID, g1.Epoch); !errors.Is(err, lease.ErrStale) {
+		t.Fatalf("zombie renew: want ErrStale, got %v", err)
+	}
+	if err := m.PutLeaseCheckpoint(st.ID, g1.Epoch, strings.NewReader("zombie bytes")); !errors.Is(err, lease.ErrStale) {
+		t.Fatalf("zombie checkpoint upload: want ErrStale, got %v", err)
+	}
+	if err := m.LeaseProgress(st.ID, g1.Epoch, 99, 0, 0); !errors.Is(err, lease.ErrStale) {
+		t.Fatalf("zombie step report: want ErrStale, got %v", err)
+	}
+	if _, err := m.CompleteLease(st.ID, CompleteRequest{Worker: "doomed", Epoch: g1.Epoch, Status: "completed"}); !errors.Is(err, lease.ErrStale) {
+		t.Fatalf("zombie complete: want ErrStale, got %v", err)
+	}
+	if c := m.Stats(); c.StaleRejected < 4 {
+		t.Fatalf("stale rejections %d, want >= 4", c.StaleRejected)
+	}
+	// The live holder is unaffected.
+	if _, err := m.RenewLease(st.ID, g2.Epoch); err != nil {
+		t.Fatalf("live renew rejected: %v", err)
+	}
+	if _, err := m.CompleteLease(st.ID, CompleteRequest{Worker: "fresh", Epoch: g2.Epoch, Status: "completed",
+		Report: RunReport{Steps: 5, EnergiesHa: []float64{-1, -2, -3, -4, -5}, TemperaturesK: []float64{1, 1, 1, 1, 1}}}); err != nil {
+		t.Fatalf("live complete: %v", err)
+	}
+	fin, _ := m.Get(st.ID)
+	if fin.Status != StatusCompleted || fin.StepsDone != 5 {
+		t.Fatalf("final state %+v", fin)
+	}
+}
+
+// The same fencing, observed through the HTTP surface: the zombie's
+// stale epoch gets 409 on renew, checkpoint upload, and complete.
+func TestZombieGets409OverHTTP(t *testing.T) {
+	m := newCoordinator(t, t.TempDir(), 50*time.Millisecond)
+	defer shutdown(t, m)
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+	st := mustSubmit(t, m, validSpec("a", 3))
+	g1 := mustAcquire(t, m, "doomed")
+	if !waitfor.Until(5*time.Second, func() bool {
+		s, _ := m.Get(st.ID)
+		return s.Status == StatusQueued
+	}) {
+		t.Fatal("expired lease was not requeued")
+	}
+	mustAcquire(t, m, "fresh") // bumps the epoch past the zombie's
+
+	post := func(path, body string) int {
+		t.Helper()
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+	if code := post("/v1/lease/"+st.ID+"/renew", `{"epoch":1}`); code != http.StatusConflict {
+		t.Fatalf("zombie renew: status %d, want 409", code)
+	}
+	if code := post("/v1/lease/"+st.ID+"/steps", `{"epoch":1,"step":9}`); code != http.StatusConflict {
+		t.Fatalf("zombie step: status %d, want 409", code)
+	}
+	if code := post("/v1/lease/"+st.ID+"/complete", `{"epoch":1,"status":"completed"}`); code != http.StatusConflict {
+		t.Fatalf("zombie complete: status %d, want 409", code)
+	}
+	req, _ := http.NewRequest(http.MethodPut,
+		srv.URL+"/v1/lease/"+st.ID+"/checkpoint?epoch=1", strings.NewReader("junk"))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("zombie checkpoint upload: status %d, want 409", resp.StatusCode)
+	}
+	_ = g1
+}
+
+// Checkpoint upload, download, and the HasCheckpoint flag across a
+// release/re-grant cycle.
+func TestLeaseCheckpointRoundTrip(t *testing.T) {
+	m := newCoordinator(t, t.TempDir(), time.Minute)
+	defer shutdown(t, m)
+	st := mustSubmit(t, m, validSpec("a", 4))
+	g1 := mustAcquire(t, m, "w1")
+
+	payload := []byte("checkpoint payload \x00\x01\x02")
+	if err := m.PutLeaseCheckpoint(st.ID, g1.Epoch, bytes.NewReader(payload)); err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	if err := m.LeaseProgress(st.ID, g1.Epoch, 2, -2, 300); err != nil {
+		t.Fatal(err)
+	}
+	rc, err := m.OpenLeaseCheckpoint(st.ID, g1.Epoch)
+	if err != nil {
+		t.Fatalf("download: %v", err)
+	}
+	got, _ := io.ReadAll(rc)
+	rc.Close()
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("checkpoint round trip: got %q, want %q", got, payload)
+	}
+
+	// Voluntary release (worker drain) requeues with progress intact.
+	if _, err := m.CompleteLease(st.ID, CompleteRequest{Worker: "w1", Epoch: g1.Epoch,
+		Status: "released", Report: RunReport{Steps: 2, EnergiesHa: []float64{-1, -2}, TemperaturesK: []float64{300, 300}}}); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+	s, _ := m.Get(st.ID)
+	if s.Status != StatusQueued || s.StepsDone != 2 {
+		t.Fatalf("released state %+v", s)
+	}
+	g2 := mustAcquire(t, m, "w2")
+	if !g2.HasCheckpoint || g2.StepsDone != 2 || g2.Epoch != g1.Epoch+1 {
+		t.Fatalf("re-grant %+v, want checkpoint present, 2 steps done, epoch bumped", g2)
+	}
+}
+
+// A fresh job has no checkpoint to download.
+func TestOpenLeaseCheckpointMissing(t *testing.T) {
+	m := newCoordinator(t, t.TempDir(), time.Minute)
+	defer shutdown(t, m)
+	st := mustSubmit(t, m, validSpec("a", 1))
+	g := mustAcquire(t, m, "w1")
+	if _, err := m.OpenLeaseCheckpoint(st.ID, g.Epoch); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("want ErrNoCheckpoint, got %v", err)
+	}
+}
+
+// Cancelling a leased job is terminal immediately; the worker's next
+// call is fenced.
+func TestCancelLeasedJob(t *testing.T) {
+	m := newCoordinator(t, t.TempDir(), time.Minute)
+	defer shutdown(t, m)
+	st := mustSubmit(t, m, validSpec("a", 3))
+	g := mustAcquire(t, m, "w1")
+	cs, err := m.Cancel(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Status != StatusCancelled {
+		t.Fatalf("cancelled state %+v", cs)
+	}
+	if _, err := m.RenewLease(st.ID, g.Epoch); !errors.Is(err, lease.ErrNotLeased) {
+		t.Fatalf("renew after cancel: want ErrNotLeased, got %v", err)
+	}
+	if c := m.Stats(); c.Cancelled != 1 || c.Running != 0 || c.LeasesActive != 0 {
+		t.Fatalf("counters %+v", c)
+	}
+}
+
+// The lease API does not exist on a standalone manager (neither in-process
+// nor over HTTP), and standalone queue order stays FIFO within a
+// priority level — the distributed cost-aware pick must not leak in.
+func TestStandaloneHasNoLeaseAPI(t *testing.T) {
+	m := newTestManager(t, t.TempDir(), 1, 4, &fakeRunner{})
+	defer shutdown(t, m)
+	if _, err := m.Acquire(context.Background(), "w1", 0); !errors.Is(err, ErrNotCoordinator) {
+		t.Fatalf("standalone acquire: want ErrNotCoordinator, got %v", err)
+	}
+	if _, err := m.RenewLease("j00000001", 1); !errors.Is(err, ErrNotCoordinator) {
+		t.Fatalf("standalone renew: want ErrNotCoordinator, got %v", err)
+	}
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/v1/lease", "application/json", strings.NewReader(`{"worker":"w1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("standalone POST /v1/lease: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// Epochs survive a coordinator restart: a zombie from before the crash
+// is still fenced by the recovered job's next grant.
+func TestEpochFencingSurvivesCoordinatorRestart(t *testing.T) {
+	dir := t.TempDir()
+	m := newCoordinator(t, dir, time.Minute)
+	st := mustSubmit(t, m, validSpec("a", 3))
+	g1 := mustAcquire(t, m, "old-worker")
+	shutdown(t, m)
+
+	m2 := newCoordinator(t, dir, time.Minute)
+	defer shutdown(t, m2)
+	s, err := m2.Get(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != StatusQueued || s.Worker != "" {
+		t.Fatalf("recovered state %+v, want requeued with no worker", s)
+	}
+	g2 := mustAcquire(t, m2, "new-worker")
+	if g2.Epoch <= g1.Epoch {
+		t.Fatalf("post-restart epoch %d not past pre-crash epoch %d", g2.Epoch, g1.Epoch)
+	}
+	if _, err := m2.RenewLease(st.ID, g1.Epoch); !errors.Is(err, lease.ErrStale) {
+		t.Fatalf("pre-crash zombie renew: want ErrStale, got %v", err)
+	}
+}
+
+// --- worker-node integration (in-process coordinator over httptest) ---
+
+func startWorker(t *testing.T, url, name string, slots int, r Runner) (*Worker, context.CancelFunc, chan struct{}) {
+	t.Helper()
+	w, err := NewWorker(WorkerConfig{
+		Coordinator: url, Name: name, Slots: slots, WorkDir: filepath.Join(t.TempDir(), name),
+		Runner: r, PollWait: 200 * time.Millisecond, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w.Run(ctx)
+	}()
+	return w, cancel, done
+}
+
+// Happy path: a worker node leases, runs, streams steps, and completes
+// jobs end to end over HTTP.
+func TestWorkerNodeEndToEnd(t *testing.T) {
+	m := newCoordinator(t, t.TempDir(), time.Minute)
+	defer shutdown(t, m)
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+	_, cancel, done := startWorker(t, srv.URL, "node-a", 2, &fakeRunner{})
+	defer func() { cancel(); <-done }()
+
+	var ids []string
+	for _, name := range []string{"a", "b", "c"} {
+		ids = append(ids, mustSubmit(t, m, validSpec(name, 3)).ID)
+	}
+	for _, id := range ids {
+		fin := waitStatus(t, m, id, StatusCompleted)
+		if fin.StepsDone != 3 || len(fin.EnergiesHa) != 3 || fin.EnergiesHa[2] != -3 {
+			t.Fatalf("job %s final record %+v", id, fin)
+		}
+		if fin.Worker != "node-a" {
+			t.Fatalf("job %s attributed to worker %q", id, fin.Worker)
+		}
+	}
+	if c := m.Stats(); c.Completed != 3 || c.LeasesGranted != 3 || c.LeasesActive != 0 {
+		t.Fatalf("counters %+v", c)
+	}
+}
+
+// A failing trajectory is reported as failed, not retried forever.
+func TestWorkerNodeReportsFailure(t *testing.T) {
+	m := newCoordinator(t, t.TempDir(), time.Minute)
+	defer shutdown(t, m)
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+	_, cancel, done := startWorker(t, srv.URL, "node-a", 1, failingRunner{})
+	defer func() { cancel(); <-done }()
+
+	st := mustSubmit(t, m, validSpec("a", 3))
+	if !waitfor.Until(10*time.Second, func() bool {
+		s, _ := m.Get(st.ID)
+		return s.Status == StatusFailed
+	}) {
+		s, _ := m.Get(st.ID)
+		t.Fatalf("job stuck at %s, want failed", s.Status)
+	}
+	s, _ := m.Get(st.ID)
+	if !strings.Contains(s.Error, "synthetic failure") {
+		t.Fatalf("failure error %q", s.Error)
+	}
+}
+
+type failingRunner struct{}
+
+func (failingRunner) Run(ctx context.Context, spec JobSpec, ckPath string,
+	onStep func(int, float64, float64)) (RunReport, error) {
+	return RunReport{}, errors.New("synthetic failure")
+}
+
+// Draining a worker (context cancel) releases its in-flight job back to
+// the queue, where a second worker picks it up and finishes it.
+func TestWorkerDrainReleasesJob(t *testing.T) {
+	m := newCoordinator(t, t.TempDir(), time.Minute)
+	defer shutdown(t, m)
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	gate := make(chan struct{})
+	fr := &fakeRunner{started: make(chan string, 4), gate: map[string]chan struct{}{"a": gate}}
+	_, cancel1, done1 := startWorker(t, srv.URL, "node-a", 1, fr)
+	st := mustSubmit(t, m, validSpec("a", 3))
+	<-fr.started // node-a holds the lease and is parked on the gate
+
+	cancel1() // drain: the fake reports 1 step done on interruption
+	select {
+	case <-done1:
+	case <-time.After(10 * time.Second):
+		t.Fatal("draining worker did not exit")
+	}
+	if !waitfor.Until(5*time.Second, func() bool {
+		s, _ := m.Get(st.ID)
+		return s.Status == StatusQueued
+	}) {
+		s, _ := m.Get(st.ID)
+		t.Fatalf("released job stuck at %s, want queued", s.Status)
+	}
+	if s, _ := m.Get(st.ID); s.StepsDone != 1 {
+		t.Fatalf("released job records %d steps, want 1", s.StepsDone)
+	}
+
+	close(gate) // the second node runs it unobstructed
+	_, cancel2, done2 := startWorker(t, srv.URL, "node-b", 1, &fakeRunner{})
+	defer func() { cancel2(); <-done2 }()
+	fin := waitStatus(t, m, st.ID, StatusCompleted)
+	if fin.Worker != "node-b" {
+		t.Fatalf("resumed job attributed to %q, want node-b", fin.Worker)
+	}
+}
+
+// checkpointingRunner writes a tiny checkpoint file per step so the
+// worker's upload path actually ships bytes to the coordinator.
+type checkpointingRunner struct{ slow time.Duration }
+
+func (c checkpointingRunner) Run(ctx context.Context, spec JobSpec, ckPath string,
+	onStep func(int, float64, float64)) (RunReport, error) {
+	start := 0
+	if raw, err := os.ReadFile(ckPath); err == nil {
+		start = len(bytes.TrimRight(raw, "\n")) // one byte per completed step
+	}
+	var es, ts []float64
+	for i := 1; i <= start; i++ {
+		es, ts = append(es, -float64(i)), append(ts, 300)
+	}
+	for i := start + 1; i <= spec.Steps; i++ {
+		if ctx.Err() != nil {
+			return RunReport{Steps: i - 1, EnergiesHa: es, TemperaturesK: ts}, ctx.Err()
+		}
+		if c.slow > 0 {
+			time.Sleep(c.slow)
+		}
+		es, ts = append(es, -float64(i)), append(ts, 300)
+		onStep(i, -float64(i), 300)
+		os.WriteFile(ckPath, bytes.Repeat([]byte("x"), i), 0o644)
+	}
+	return RunReport{Steps: spec.Steps, EnergiesHa: es, TemperaturesK: ts}, nil
+}
+
+// A worker killed mid-job (simulated by abandoning the lease) leaves a
+// checkpoint behind; after expiry the job is re-leased and the next
+// worker resumes from it rather than from scratch.
+func TestWorkerCrashResumeFromUploadedCheckpoint(t *testing.T) {
+	m := newCoordinator(t, t.TempDir(), 150*time.Millisecond)
+	defer shutdown(t, m)
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	spec := validSpec("a", 6)
+	spec.CheckpointEvery = 1
+	st := mustSubmit(t, m, spec)
+
+	// "Crashed" worker: acquire by hand, upload a 3-step checkpoint,
+	// then vanish without renewing.
+	g1 := mustAcquire(t, m, "crashed")
+	if err := m.LeaseProgress(st.ID, g1.Epoch, 3, -3, 300); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.PutLeaseCheckpoint(st.ID, g1.Epoch, strings.NewReader("xxx")); err != nil {
+		t.Fatal(err)
+	}
+	if !waitfor.Until(5*time.Second, func() bool {
+		s, _ := m.Get(st.ID)
+		return s.Status == StatusQueued
+	}) {
+		t.Fatal("orphaned job was not requeued")
+	}
+
+	_, cancel, done := startWorker(t, srv.URL, "node-b", 1, checkpointingRunner{})
+	defer func() { cancel(); <-done }()
+	fin := waitStatus(t, m, st.ID, StatusCompleted)
+	if fin.StepsDone != 6 {
+		t.Fatalf("resumed job finished at step %d, want 6", fin.StepsDone)
+	}
+	// The resumed report covers all 6 steps — 3 restored from the
+	// checkpoint, 3 freshly computed.
+	if len(fin.EnergiesHa) != 6 || fin.EnergiesHa[0] != -1 || fin.EnergiesHa[5] != -6 {
+		t.Fatalf("resumed energy series %v", fin.EnergiesHa)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	qmd "ldcdft"
+	"ldcdft/internal/waitfor"
 )
 
 // tinyH2Spec is a real 2-atom LDC-DFT workload small enough for
@@ -93,12 +94,8 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 	waitCond := func(what string, cond func() bool) {
 		t.Helper()
-		deadline := time.Now().Add(2 * time.Minute)
-		for !cond() {
-			if time.Now().After(deadline) {
-				t.Fatalf("timed out waiting for %s", what)
-			}
-			time.Sleep(10 * time.Millisecond)
+		if !waitfor.Until(2*time.Minute, cond) {
+			t.Fatalf("timed out waiting for %s", what)
 		}
 	}
 

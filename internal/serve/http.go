@@ -31,6 +31,12 @@ func (m *Manager) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("GET /metrics", m.handleMetrics)
+	if m.leases != nil {
+		// Coordinator mode adds the worker-facing lease API (acquire,
+		// renew, step progress, checkpoint up/download, complete) — see
+		// coordhttp.go. Standalone daemons 404 these paths.
+		m.registerLeaseAPI(mux)
+	}
 	return mux
 }
 
@@ -60,7 +66,13 @@ func errorCode(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrNotFound):
 		return http.StatusNotFound
+	case errors.Is(err, ErrNoCheckpoint):
+		return http.StatusNotFound
 	case errors.Is(err, ErrAlreadyFinished):
+		return http.StatusConflict
+	case leaseErrIsFencing(err):
+		// Expired, released, or superseded lease: the worker's claim is
+		// gone and it must abandon the trajectory.
 		return http.StatusConflict
 	default:
 		return http.StatusInternalServerError

@@ -9,6 +9,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"ldcdft/internal/waitfor"
 )
 
 func postJob(t *testing.T, srv *httptest.Server, spec JobSpec) (*http.Response, JobState) {
@@ -49,20 +51,22 @@ func getState(t *testing.T, srv *httptest.Server, id string) (int, JobState) {
 
 func waitHTTPStatus(t *testing.T, srv *httptest.Server, id string, want Status) JobState {
 	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		code, st := getState(t, srv, id)
+	var st JobState
+	ok := waitfor.Until(10*time.Second, func() bool {
+		code, cur := getState(t, srv, id)
 		if code != http.StatusOK {
 			t.Fatalf("GET %s: %d", id, code)
 		}
-		if st.Status == want {
-			return st
-		}
-		if st.Status.Terminal() || time.Now().After(deadline) {
+		st = cur
+		if st.Status != want && st.Status.Terminal() {
 			t.Fatalf("job %s at %s, want %s", id, st.Status, want)
 		}
-		time.Sleep(2 * time.Millisecond)
+		return st.Status == want
+	})
+	if !ok {
+		t.Fatalf("job %s at %s, want %s", id, st.Status, want)
 	}
+	return st
 }
 
 func TestHTTPLifecycle(t *testing.T) {

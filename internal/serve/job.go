@@ -117,6 +117,22 @@ func (s *JobSpec) Validate() error {
 	return nil
 }
 
+// EstimatedCost models the job's remaining work in arbitrary units:
+// remaining MD steps × real-space grid points (GridN³), the dominant
+// SCF/FFT cost driver at fixed tolerances. The coordinator's lease pick
+// uses it to hand out the largest remaining tasks first within a
+// priority level, and re-estimates on requeue so a mostly-finished
+// trajectory (stepsDone close to Steps) no longer outranks fresh large
+// jobs.
+func (s *JobSpec) EstimatedCost(stepsDone int) float64 {
+	remaining := s.Steps - stepsDone
+	if remaining < 1 {
+		remaining = 1 // a final checkpoint still has to be turned into a result
+	}
+	n := float64(s.Config.GridN)
+	return float64(remaining) * n * n * n
+}
+
 // BuildSystem materializes the atomic system of the spec.
 func (s *JobSpec) BuildSystem() (*qmd.System, error) {
 	if err := s.Validate(); err != nil {
@@ -193,6 +209,14 @@ type JobState struct {
 	SCFIterations int       `json:"scf_iterations,omitempty"`
 	EnergiesHa    []float64 `json:"energies_ha,omitempty"`
 	TemperaturesK []float64 `json:"temperatures_k,omitempty"`
+
+	// Worker and LeaseEpoch are the distributed-mode lease record: the
+	// node currently holding the job and the fencing epoch it was
+	// granted under. The epoch is persisted so that fencing survives
+	// coordinator restarts; it only ever increases. Both are empty/zero
+	// in standalone mode.
+	Worker     string `json:"worker,omitempty"`
+	LeaseEpoch int64  `json:"lease_epoch,omitempty"`
 
 	Error string `json:"error,omitempty"`
 }

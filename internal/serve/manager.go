@@ -13,6 +13,7 @@ import (
 
 	"ldcdft/internal/cache"
 	"ldcdft/internal/qio"
+	"ldcdft/internal/serve/lease"
 )
 
 // Sentinel errors of the admission/lifecycle API. The HTTP layer maps
@@ -55,6 +56,22 @@ type Config struct {
 	Cache *cache.Cache
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
+
+	// Distributed switches the manager into coordinator mode: no local
+	// worker pool runs; instead remote worker nodes lease jobs over the
+	// HTTP lease API (POST /v1/lease and friends, see Handler), renew
+	// them by heartbeat, upload checkpoints at step boundaries, and
+	// report completion. Leases that expire — worker crash, partition,
+	// SIGKILL — are requeued and later resumed bit-for-bit from the
+	// last uploaded checkpoint; a zombie worker's late calls are fenced
+	// off by the lease epoch. The pending queue picks by estimated
+	// remaining cost (largest first within a priority level) rather
+	// than strict FIFO.
+	Distributed bool
+	// LeaseTTL is the coordinator's lease duration: a leased job whose
+	// worker misses renewals for this long is requeued. 0 = 15s.
+	// Ignored unless Distributed.
+	LeaseTTL time.Duration
 }
 
 // job is the manager-internal record: persisted state plus scheduling
@@ -80,6 +97,13 @@ type Manager struct {
 	runner Runner
 	cache  *cache.Cache
 
+	// leases is non-nil exactly in coordinator (Distributed) mode; its
+	// epochs fence zombie workers off reassigned jobs. stopExpiry ends
+	// the expiry-scan goroutine on shutdown.
+	leases     *lease.Table
+	stopExpiry chan struct{}
+	stopOnce   sync.Once
+
 	mu       sync.Mutex
 	cond     *sync.Cond
 	jobs     map[string]*job
@@ -93,6 +117,10 @@ type Manager struct {
 	failed    int64
 	cancelled int64
 	rejected  int64
+
+	leasesGranted int64
+	leasesExpired int64
+	staleRejected int64
 
 	wg sync.WaitGroup
 }
@@ -117,6 +145,9 @@ func NewManager(cfg Config) (*Manager, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.LeaseTTL == 0 {
+		cfg.LeaseTTL = 15 * time.Second
+	}
 	m := &Manager{
 		cfg:    cfg,
 		root:   root,
@@ -125,8 +156,18 @@ func NewManager(cfg Config) (*Manager, error) {
 		jobs:   make(map[string]*job),
 	}
 	m.cond = sync.NewCond(&m.mu)
+	m.queue.byCost = cfg.Distributed
 	if err := m.recover(); err != nil {
 		return nil, err
+	}
+	if cfg.Distributed {
+		// Coordinator: remote workers execute jobs; the only local
+		// goroutine is the lease-expiry scan.
+		m.leases = lease.NewTable(cfg.LeaseTTL)
+		m.stopExpiry = make(chan struct{})
+		m.wg.Add(1)
+		go m.expireLoop()
+		return m, nil
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
@@ -174,6 +215,10 @@ func (m *Manager) recover() error {
 				m.cfg.Logf("serve: requeueing interrupted job %s (was %s, %d steps done)",
 					id, j.state.Status, j.state.StepsDone)
 				j.state.Status = StatusQueued
+				// The lease died with the coordinator; the persisted
+				// epoch survives so the next grant still fences any
+				// zombie holding a pre-crash lease.
+				j.state.Worker = ""
 				if err := m.persistState(j); err != nil {
 					return err
 				}
@@ -275,6 +320,21 @@ func (m *Manager) Cancel(id string) (*JobState, error) {
 	switch {
 	case m.queue.remove(j):
 		j.state.Status = StatusCancelled
+		j.state.FinishedAt = time.Now().UTC()
+		m.cancelled++
+		if err := m.persistState(j); err != nil {
+			return nil, err
+		}
+		m.finishBroadcast(j)
+	case m.leases != nil && j.state.Status == StatusRunning:
+		// Leased to a remote worker: terminal immediately — the worker
+		// discovers the loss on its next renew (409) and abandons the
+		// trajectory. The last uploaded checkpoint is kept for manual
+		// resume, exactly like a standalone cancellation.
+		m.leases.Drop(j.id)
+		m.running--
+		j.state.Status = StatusCancelled
+		j.state.Error = ErrCancelledByClient.Error()
 		j.state.FinishedAt = time.Now().UTC()
 		m.cancelled++
 		if err := m.persistState(j); err != nil {
@@ -457,6 +517,59 @@ func (m *Manager) persistState(j *job) error {
 	return qio.WriteJSONFile(filepath.Join(j.dir, qio.JobStateFile), &j.state)
 }
 
+// requeueLocked puts a leased job back in the pending queue — the
+// crash-safe requeue path shared by lease expiry and voluntary release
+// (worker drain). The job keeps its StepsDone and its persisted
+// LeaseEpoch (so the next grant's epoch fences the old holder) and is
+// resumed from its last uploaded checkpoint by whichever worker leases
+// it next. Callers hold the manager lock and have already removed the
+// lease from the table.
+func (m *Manager) requeueLocked(j *job, why string) {
+	m.running--
+	j.state.Status = StatusQueued
+	j.state.Worker = ""
+	if err := m.persistState(j); err != nil {
+		m.cfg.Logf("serve: persist %s: %v", j.id, err)
+	}
+	m.queue.push(j)
+	m.broadcast(j, Event{Type: "status", Status: StatusQueued, Step: j.state.StepsDone})
+	m.cond.Signal()
+	m.cfg.Logf("serve: job %s requeued (%s, %d steps done)", j.id, why, j.state.StepsDone)
+}
+
+// expireLoop is the coordinator's lease-expiry scan: any lease whose
+// worker has missed renewals for LeaseTTL is revoked and its job
+// requeued. Scan cadence is a quarter of the TTL so a dead worker's job
+// is back in the queue at most ~1.25 TTLs after its last heartbeat.
+func (m *Manager) expireLoop() {
+	defer m.wg.Done()
+	period := m.cfg.LeaseTTL / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.stopExpiry:
+			return
+		case now := <-ticker.C:
+			for _, l := range m.leases.Expired(now) {
+				m.mu.Lock()
+				j := m.jobs[l.JobID]
+				// Requeue only if the expired lease is still the job's
+				// current one — completion or cancellation may have
+				// raced the scan.
+				if j != nil && j.state.Status == StatusRunning && j.state.LeaseEpoch == l.Epoch {
+					m.leasesExpired++
+					m.requeueLocked(j, fmt.Sprintf("lease expired on worker %s", l.Worker))
+				}
+				m.mu.Unlock()
+			}
+		}
+	}
+}
+
 // Counters is a consistent snapshot of the scheduling metrics exported
 // at /metrics.
 type Counters struct {
@@ -467,13 +580,19 @@ type Counters struct {
 	Failed     int64
 	Cancelled  int64
 	Rejected   int64
+
+	// Lease counters; all zero in standalone mode.
+	LeasesActive  int
+	LeasesGranted int64
+	LeasesExpired int64
+	StaleRejected int64
 }
 
 // Stats returns the current scheduling counters.
 func (m *Manager) Stats() Counters {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return Counters{
+	c := Counters{
 		QueueDepth: m.queue.Len(),
 		Running:    m.running,
 		Submitted:  m.submitted,
@@ -481,7 +600,15 @@ func (m *Manager) Stats() Counters {
 		Failed:     m.failed,
 		Cancelled:  m.cancelled,
 		Rejected:   m.rejected,
+
+		LeasesGranted: m.leasesGranted,
+		LeasesExpired: m.leasesExpired,
+		StaleRejected: m.staleRejected,
 	}
+	if m.leases != nil {
+		c.LeasesActive = m.leases.Len()
+	}
+	return c
 }
 
 // Shutdown drains gracefully: admissions stop (ErrShuttingDown),
@@ -499,6 +626,12 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 		}
 	}
 	m.mu.Unlock()
+	if m.stopExpiry != nil {
+		// Coordinator: stop the expiry scan. Leased jobs are left
+		// running in the store — their workers lose contact, abandon,
+		// and the next coordinator requeues them on recovery.
+		m.stopOnce.Do(func() { close(m.stopExpiry) })
+	}
 	done := make(chan struct{})
 	go func() {
 		m.wg.Wait()

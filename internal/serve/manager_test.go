@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"ldcdft/internal/waitfor"
 )
 
 // fakeRunner is a Runner that never touches the SCF engine: it reports
@@ -60,23 +62,21 @@ func validSpec(name string, steps int) JobSpec {
 // different terminal status).
 func waitStatus(t *testing.T, m *Manager, id string, want Status) *JobState {
 	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		st, err := m.Get(id)
-		if err != nil {
+	var st *JobState
+	ok := waitfor.Until(10*time.Second, func() bool {
+		var err error
+		if st, err = m.Get(id); err != nil {
 			t.Fatalf("get %s: %v", id, err)
 		}
-		if st.Status == want {
-			return st
-		}
-		if st.Status.Terminal() {
+		if st.Status != want && st.Status.Terminal() {
 			t.Fatalf("job %s reached %s (error %q), want %s", id, st.Status, st.Error, want)
 		}
-		if time.Now().After(deadline) {
-			t.Fatalf("job %s stuck at %s, want %s", id, st.Status, want)
-		}
-		time.Sleep(2 * time.Millisecond)
+		return st.Status == want
+	})
+	if !ok {
+		t.Fatalf("job %s stuck at %s, want %s", id, st.Status, want)
 	}
+	return st
 }
 
 func newTestManager(t *testing.T, dir string, workers, cap_ int, r Runner) *Manager {

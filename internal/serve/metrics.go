@@ -27,6 +27,19 @@ func (m *Manager) WriteMetrics(w io.Writer) error {
 		{"qmdd_jobs_cancelled_total", "Jobs cancelled by clients.", "counter", float64(c.Cancelled)},
 		{"qmdd_jobs_rejected_total", "Submissions rejected by admission control (429).", "counter", float64(c.Rejected)},
 	}
+	if m.leases != nil {
+		rows = append(rows, []struct {
+			name string
+			help string
+			typ  string
+			v    float64
+		}{
+			{"qmdd_leases_active", "Jobs currently leased to worker nodes.", "gauge", float64(c.LeasesActive)},
+			{"qmdd_leases_granted_total", "Leases granted to worker nodes.", "counter", float64(c.LeasesGranted)},
+			{"qmdd_leases_expired_total", "Leases revoked after missed renewals (job requeued).", "counter", float64(c.LeasesExpired)},
+			{"qmdd_lease_stale_rejected_total", "Lease calls rejected by the epoch fence (zombie workers).", "counter", float64(c.StaleRejected)},
+		}...)
+	}
 	if m.cache != nil {
 		s := m.cache.Stats()
 		rows = append(rows, []struct {

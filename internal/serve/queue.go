@@ -2,39 +2,59 @@ package serve
 
 import "container/heap"
 
-// jobQueue is the pending-job priority queue: higher Priority first,
-// FIFO (admission sequence) within a priority level. It holds *job
-// entries owned by the Manager and is always accessed under its lock.
-type jobQueue []*job
-
-func (q jobQueue) Len() int { return len(q) }
-
-func (q jobQueue) Less(i, j int) bool {
-	if q[i].state.Priority != q[j].state.Priority {
-		return q[i].state.Priority > q[j].state.Priority
-	}
-	return q[i].seq < q[j].seq
+// jobQueue is the pending-job priority queue. Higher Priority always
+// runs first. Within a priority level the tiebreak depends on the mode:
+//
+//   - standalone (byCost=false): FIFO by admission sequence — the
+//     original single-process daemon behaviour, preserved exactly;
+//   - coordinator (byCost=true): largest estimated remaining cost
+//     first (LPT scheduling: handing the biggest tasks out earliest
+//     minimizes fleet makespan — the graph-partitioning QMD literature's
+//     "partition by estimated cost, not round-robin"), with the
+//     admission sequence as the final tiebreak.
+//
+// It holds *job entries owned by the Manager and is always accessed
+// under its lock.
+type jobQueue struct {
+	byCost bool
+	items  []*job
 }
 
-func (q jobQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].queueIdx = i
-	q[j].queueIdx = j
+func (q *jobQueue) Len() int { return len(q.items) }
+
+func (q *jobQueue) Less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.state.Priority != b.state.Priority {
+		return a.state.Priority > b.state.Priority
+	}
+	if q.byCost {
+		ca, cb := a.spec.EstimatedCost(a.state.StepsDone), b.spec.EstimatedCost(b.state.StepsDone)
+		if ca != cb {
+			return ca > cb
+		}
+	}
+	return a.seq < b.seq
+}
+
+func (q *jobQueue) Swap(i, j int) {
+	q.items[i], q.items[j] = q.items[j], q.items[i]
+	q.items[i].queueIdx = i
+	q.items[j].queueIdx = j
 }
 
 func (q *jobQueue) Push(x any) {
 	j := x.(*job)
-	j.queueIdx = len(*q)
-	*q = append(*q, j)
+	j.queueIdx = len(q.items)
+	q.items = append(q.items, j)
 }
 
 func (q *jobQueue) Pop() any {
-	old := *q
+	old := q.items
 	n := len(old)
 	j := old[n-1]
 	old[n-1] = nil
 	j.queueIdx = -1
-	*q = old[:n-1]
+	q.items = old[:n-1]
 	return j
 }
 
@@ -52,7 +72,7 @@ func (q *jobQueue) pop() *job {
 // remove drops a specific job from the middle of the queue (used by
 // cancellation of queued jobs). Reports whether the job was queued.
 func (q *jobQueue) remove(j *job) bool {
-	if j.queueIdx < 0 || j.queueIdx >= q.Len() || (*q)[j.queueIdx] != j {
+	if j.queueIdx < 0 || j.queueIdx >= q.Len() || q.items[j.queueIdx] != j {
 		return false
 	}
 	heap.Remove(q, j.queueIdx)

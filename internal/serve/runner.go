@@ -10,12 +10,13 @@ import (
 
 // RunReport is what a Runner hands back for a finished (or interrupted)
 // trajectory: the accumulated per-step record, including steps restored
-// from a checkpoint on resume.
+// from a checkpoint on resume. It is also the wire payload of a worker
+// node's completion call, hence the JSON tags.
 type RunReport struct {
-	Steps         int
-	SCFIterations int
-	EnergiesHa    []float64
-	TemperaturesK []float64
+	Steps         int       `json:"steps"`
+	SCFIterations int       `json:"scf_iterations,omitempty"`
+	EnergiesHa    []float64 `json:"energies_ha,omitempty"`
+	TemperaturesK []float64 `json:"temperatures_k,omitempty"`
 }
 
 // Runner executes one job trajectory. The manager depends only on this

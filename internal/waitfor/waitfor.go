@@ -1,0 +1,46 @@
+// Package waitfor provides deadline-bounded condition polling: the
+// replacement for fixed sleeps in tests and smoke gates, where "sleep
+// 1.5s and hope the trajectory got going" is exactly the kind of timing
+// assumption that turns flaky on a loaded CI runner. Callers state the
+// condition and the deadline; the poll interval backs off exponentially
+// so fast conditions resolve in a millisecond and slow ones don't spin.
+package waitfor
+
+import "time"
+
+// pollFloor/pollCeil bound the backoff: start at 1ms (fast conditions
+// resolve nearly immediately), double each miss, never poll slower than
+// 100ms (a condition turning true is noticed promptly even near the
+// deadline).
+const (
+	pollFloor = time.Millisecond
+	pollCeil  = 100 * time.Millisecond
+)
+
+// Until polls cond until it returns true or timeout elapses, reporting
+// whether cond became true. cond is always tried at least once, and
+// once more at the deadline, so a timeout of 0 degrades to a single
+// check rather than an automatic failure.
+func Until(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	interval := pollFloor
+	for {
+		if cond() {
+			return true
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return cond()
+		}
+		if interval > remaining {
+			interval = remaining
+		}
+		time.Sleep(interval)
+		if interval < pollCeil {
+			interval *= 2
+			if interval > pollCeil {
+				interval = pollCeil
+			}
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package waitfor
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestUntilImmediateSuccess(t *testing.T) {
+	var calls int32
+	ok := Until(time.Second, func() bool { atomic.AddInt32(&calls, 1); return true })
+	if !ok || calls != 1 {
+		t.Fatalf("ok=%v calls=%d, want immediate single-call success", ok, calls)
+	}
+}
+
+func TestUntilEventualSuccess(t *testing.T) {
+	var calls int32
+	ok := Until(5*time.Second, func() bool { return atomic.AddInt32(&calls, 1) >= 4 })
+	if !ok {
+		t.Fatal("condition never observed true")
+	}
+}
+
+func TestUntilTimeout(t *testing.T) {
+	start := time.Now()
+	if Until(30*time.Millisecond, func() bool { return false }) {
+		t.Fatal("false condition reported true")
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("returned after %v, before the deadline", elapsed)
+	}
+}
+
+func TestUntilZeroTimeoutStillChecks(t *testing.T) {
+	var calls int32
+	if !Until(0, func() bool { atomic.AddInt32(&calls, 1); return true }) {
+		t.Fatal("zero timeout suppressed the check")
+	}
+	if calls == 0 {
+		t.Fatal("condition never called")
+	}
+}
