@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt check race bench bench-smoke serve-smoke cluster-smoke bench-cache bench-multigrid bench-serve bce
+.PHONY: build test vet fmt check race bench bench-smoke serve-smoke cluster-smoke bench-cache bench-multigrid bench-serve bench-scale scale-smoke bce
 
 build:
 	$(GO) build ./...
@@ -93,6 +93,24 @@ bench-multigrid:
 bench-cache:
 	$(GO) test -run '^$$' -bench 'Benchmark(Cache|EntryCodec)' -benchtime 2s ./internal/cache/ | $(GO) run ./cmd/benchjson > BENCH_cache.json
 	@cat BENCH_cache.json
+
+# bench-scale measures workspace-streaming memory scaling: one
+# subprocess per decomposition (8 → 512 domains of the same system, so
+# VmHWM isolates each point's true peak RSS), a c·dᵃ power-law fit over
+# the sweep, and BENCH_scale.json as the machine-readable record. With
+# bounded solver workspaces the fitted rssAlpha must stay ≈0 (memory
+# follows the worker count, not the domain count).
+bench-scale:
+	$(GO) run ./cmd/scalebench -scale -scale-json BENCH_scale.json
+	@cat BENCH_scale.json
+
+# scale-smoke is the bounded-memory CI gate: a 512-domain LDC-DFT step
+# streamed through 4 solver workspaces must finish under a hard RSS
+# ceiling — a resident-per-domain regression (O(domains) memory) blows
+# the ceiling and fails loudly. GOMEMLIMIT keeps the Go heap honest so
+# lazily-collected garbage cannot hide under the ceiling.
+scale-smoke:
+	GOMEMLIMIT=400MiB LDC_SCALE_RSS_MAX_MB=512 $(GO) test -run TestScaleSmoke512 -count=1 -v ./internal/core/
 
 # bench-serve benchmarks the coordinator's scheduling hot paths — the
 # cost-aware queue pick, the submit→acquire→complete lease cycle, and

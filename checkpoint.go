@@ -2,7 +2,9 @@ package qmd
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"os"
 
 	"ldcdft/internal/cache"
 	"ldcdft/internal/geom"
@@ -26,6 +28,15 @@ type QMDOptions struct {
 	// CheckpointGroupSize is the collective-I/O aggregation group size
 	// (0 = 192, the paper's §4.2 optimum).
 	CheckpointGroupSize int
+	// DeltaCheckpoints switches to incremental checkpointing: the first
+	// write (and periodic refreshes) store a full base at CheckpointPath,
+	// and every other write stores only the state that changed since the
+	// base — a small delta file at CheckpointPath+".delta" — so frequent
+	// checkpointing of a large system costs O(changed state) per step.
+	// When a delta grows to half the base size the next write folds it
+	// into a fresh base. ResumeQMD transparently applies a pending delta
+	// whether or not this flag is set.
+	DeltaCheckpoints bool
 
 	// Ctx, when non-nil, cancels the trajectory cooperatively: between
 	// MD steps and between SCF iterations inside a step. A cancelled
@@ -57,7 +68,7 @@ type QMDOptions struct {
 func RunQMDOpts(sys *System, cfg LDCConfig, steps int, dtFs float64, opts QMDOptions) (*QMDResult, error) {
 	ff := &DFTForceField{Cfg: cfg, Cache: opts.Cache}
 	in := md.NewIntegrator(ff, dtFs)
-	return runTrajectory(sys.Clone(), cfg, steps, 0, in, ff, &QMDResult{}, opts)
+	return runTrajectory(sys.Clone(), cfg, steps, 0, in, ff, &QMDResult{}, opts, &checkpointWriter{opts: opts})
 }
 
 // ResumeQMD restores a trajectory from a checkpoint and continues it to
@@ -68,7 +79,14 @@ func RunQMDOpts(sys *System, cfg LDCConfig, steps int, dtFs float64, opts QMDOpt
 // reproduces the uninterrupted one bit-for-bit. A dtFs of 0 adopts the
 // checkpoint's time step.
 func ResumeQMD(path string, cfg LDCConfig, steps int, dtFs float64, opts QMDOptions) (*QMDResult, error) {
-	ck, err := qio.ReadCheckpoint(path)
+	base, err := qio.LoadCheckpointBase(path)
+	if err != nil {
+		return nil, err
+	}
+	// A pending delta next to the base holds the newest completed step —
+	// apply it whether or not this run writes deltas, so a restart never
+	// silently rewinds past work a delta checkpoint recorded.
+	ck, err := qio.ApplyDeltaIfPresent(base, path+".delta")
 	if err != nil {
 		return nil, err
 	}
@@ -100,7 +118,16 @@ func ResumeQMD(path string, cfg LDCConfig, steps int, dtFs float64, opts QMDOpti
 	if steps < ck.Step {
 		steps = ck.Step
 	}
-	return runTrajectory(work, cfg, steps, ck.Step, in, ff, out, opts)
+	cw := &checkpointWriter{opts: opts}
+	if opts.DeltaCheckpoints {
+		// Seed the writer with the on-disk base so the continued run keeps
+		// appending deltas to it instead of rewriting a full checkpoint.
+		cw.base = base
+		if info, err := os.Stat(path); err == nil {
+			cw.baseBytes = info.Size()
+		}
+	}
+	return runTrajectory(work, cfg, steps, ck.Step, in, ff, out, opts, cw)
 }
 
 // trajSnapshot is the restartable state of the last completed MD step —
@@ -138,7 +165,7 @@ func capture(work *System, in *md.Integrator, ff *DFTForceField) *trajSnapshot {
 // completed step if checkpointing is configured, and returns an error
 // wrapping the cancellation cause.
 func runTrajectory(work *System, cfg LDCConfig, steps, startStep int, in *md.Integrator,
-	ff *DFTForceField, out *QMDResult, opts QMDOptions) (*QMDResult, error) {
+	ff *DFTForceField, out *QMDResult, opts QMDOptions, cw *checkpointWriter) (*QMDResult, error) {
 	ctx := opts.Ctx
 	if ctx == nil {
 		ctx = context.Background()
@@ -152,7 +179,7 @@ func runTrajectory(work *System, cfg LDCConfig, steps, startStep int, in *md.Int
 		if last != nil {
 			out.FinalSystem = last.sys
 			if opts.CheckpointPath != "" {
-				if err := writeQMDCheckpoint(last, out, opts); err != nil {
+				if err := cw.write(last, out); err != nil {
 					return out, fmt.Errorf("qmd: final checkpoint after cancellation at step %d: %w", out.Steps, err)
 				}
 			}
@@ -187,7 +214,7 @@ func runTrajectory(work *System, cfg LDCConfig, steps, startStep int, in *md.Int
 			if snap == nil {
 				snap = capture(work, in, ff)
 			}
-			if err := writeQMDCheckpoint(snap, out, opts); err != nil {
+			if err := cw.write(snap, out); err != nil {
 				out.FinalSystem = work
 				return out, fmt.Errorf("qmd: checkpoint at step %d: %w", i+1, err)
 			}
@@ -197,9 +224,21 @@ func runTrajectory(work *System, cfg LDCConfig, steps, startStep int, in *md.Int
 	return out, nil
 }
 
-// writeQMDCheckpoint writes the captured trajectory state and the
-// accumulated per-step record through the collective checkpoint path.
-func writeQMDCheckpoint(snap *trajSnapshot, out *QMDResult, opts QMDOptions) error {
+// checkpointWriter writes trajectory checkpoints: independent full files
+// by default, or — with QMDOptions.DeltaCheckpoints — a full base at
+// CheckpointPath plus a rotating delta at CheckpointPath+".delta". Both
+// files are written crash-safely, and every on-disk state reachable by a
+// crash resumes consistently: old base + new delta, or new base + stale
+// delta (ignored via its base-CRC binding).
+type checkpointWriter struct {
+	opts      QMDOptions
+	base      *qio.DeltaBase
+	baseBytes int64
+}
+
+// write checkpoints the captured trajectory state and the accumulated
+// per-step record through the collective checkpoint path.
+func (w *checkpointWriter) write(snap *trajSnapshot, out *QMDResult) error {
 	ck, err := qio.CheckpointFromSystem(snap.sys)
 	if err != nil {
 		return err
@@ -215,9 +254,37 @@ func writeQMDCheckpoint(snap *trajSnapshot, out *QMDResult, opts QMDOptions) err
 		ck.GridN = snap.rho.Grid.N
 		ck.Rho = snap.rho.Data
 	}
-	_, err = qio.WriteCheckpoint(opts.CheckpointPath, ck, qio.CheckpointWriteOptions{
-		GroupSize:      opts.CheckpointGroupSize,
+	wopts := qio.CheckpointWriteOptions{
+		GroupSize:      w.opts.CheckpointGroupSize,
 		DomainsPerAxis: snap.domains,
-	})
-	return err
+	}
+	if !w.opts.DeltaCheckpoints {
+		_, err = qio.WriteCheckpoint(w.opts.CheckpointPath, ck, wopts)
+		return err
+	}
+	if w.base != nil {
+		n, err := qio.WriteCheckpointDelta(w.opts.CheckpointPath+".delta", ck, w.base)
+		switch {
+		case err == nil && n*2 < w.baseBytes:
+			return nil
+		case err == nil:
+			// The delta grew to half the base: fold it into a fresh base so
+			// write cost stays proportional to recent change, not drift
+			// accumulated since the first step.
+		case errors.Is(err, qio.ErrDeltaIncompatible):
+			// System shape changed; start a new base.
+		default:
+			return err
+		}
+	}
+	base, n, err := qio.WriteCheckpointBase(w.opts.CheckpointPath, ck, wopts)
+	if err != nil {
+		return err
+	}
+	w.base, w.baseBytes = base, n
+	// Any leftover delta is now stale (bound to the previous base's CRC)
+	// and would be ignored on resume; remove it so the on-disk state is
+	// unambiguous.
+	os.Remove(w.opts.CheckpointPath + ".delta")
+	return nil
 }

@@ -26,7 +26,23 @@ func main() {
 	doPerf := flag.Bool("perf", false, "run a small real LDC-DFT workload and print the per-phase report")
 	perfJS := flag.String("perf-json", "", "write the per-phase report as JSON to this file")
 	cpuProf := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	scale := flag.Bool("scale", false, "run the measured workspace-streaming scale sweep (one subprocess per decomposition) and write the scale report")
+	scaleJS := flag.String("scale-json", "BENCH_scale.json", "output path of the -scale report")
+	scaleChild := flag.Int("scale-child", 0, "internal: run one -scale sweep point at this DomainsPerAxis and print its JSON row")
 	flag.Parse()
+
+	if *scaleChild > 0 {
+		if err := runScaleChild(*scaleChild); err != nil {
+			log.Fatalf("%v", err)
+		}
+		return
+	}
+	if *scale {
+		if err := runScaleSweep(*scaleJS); err != nil {
+			log.Fatalf("%v", err)
+		}
+		return
+	}
 
 	stopProf, err := perf.StartCPUProfile(*cpuProf)
 	if err != nil {

@@ -155,3 +155,69 @@ func (p *Pool) Run(n int, task func(i int) error) error {
 	}
 	return nil
 }
+
+// RunWorkers is Run with worker identity: task(w, i) runs task i on
+// worker w, where w is a stable index in [0, workers). Exactly one task
+// runs on a given worker at a time, so per-worker state (a solver
+// workspace, a scratch arena) needs no locking — this is the executor
+// behind the streaming domain scheduler, where each worker owns one
+// reusable workspace and domains flow through the bounded worker set.
+// Error and panic semantics match Run: every task is attempted and the
+// lowest-index failure is returned.
+func (p *Pool) RunWorkers(n int, task func(worker, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = runTask(i, func(i int) error { return task(0, i) })
+		}
+	} else {
+		next := make(chan int, n)
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+		close(next)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := range next {
+					errs[i] = runTask(i, func(i int) error { return task(w, i) })
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NumWorkers reports the worker count RunWorkers will use for n tasks —
+// the size a caller should allocate its per-worker state to.
+func (p *Pool) NumWorkers(n int) int {
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -136,5 +137,75 @@ func TestPoolZeroTasks(t *testing.T) {
 	}
 	if err := p.Run(-3, func(int) error { return errors.New("must not run") }); err != nil {
 		t.Fatalf("n=-3: %v", err)
+	}
+}
+
+// TestRunWorkers: every task runs exactly once, worker ids stay in
+// range, and no two tasks run concurrently on the same worker.
+func TestRunWorkers(t *testing.T) {
+	const n = 64
+	p := Pool{Workers: 4}
+	var ran [n]int32
+	var busy [4]int32
+	err := p.RunWorkers(n, func(w, i int) error {
+		if w < 0 || w >= 4 {
+			t.Errorf("worker id %d out of range", w)
+		}
+		if atomic.AddInt32(&busy[w], 1) != 1 {
+			t.Errorf("worker %d ran two tasks concurrently", w)
+		}
+		atomic.AddInt32(&ran[i], 1)
+		atomic.AddInt32(&busy[w], -1)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("RunWorkers: %v", err)
+	}
+	for i, c := range ran {
+		if c != 1 {
+			t.Fatalf("task %d ran %d times", i, c)
+		}
+	}
+}
+
+// TestRunWorkersErrors: lowest-index error wins and panics are
+// converted, matching Run.
+func TestRunWorkersErrors(t *testing.T) {
+	p := Pool{Workers: 3}
+	err := p.RunWorkers(16, func(w, i int) error {
+		if i == 5 {
+			return errors.New("five")
+		}
+		if i == 11 {
+			panic("eleven")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "five" {
+		t.Fatalf("err = %v, want five", err)
+	}
+	err = p.RunWorkers(8, func(w, i int) error {
+		if i == 2 {
+			panic("two")
+		}
+		return nil
+	})
+	var pe *TaskPanicError
+	if !errors.As(err, &pe) || pe.Index != 2 {
+		t.Fatalf("err = %v, want panic from task 2", err)
+	}
+}
+
+// TestNumWorkers pins the per-worker state sizing rule.
+func TestNumWorkers(t *testing.T) {
+	p := Pool{Workers: 6}
+	if got := p.NumWorkers(100); got != 6 {
+		t.Fatalf("NumWorkers(100) = %d, want 6", got)
+	}
+	if got := p.NumWorkers(3); got != 3 {
+		t.Fatalf("NumWorkers(3) = %d, want 3", got)
+	}
+	if got := p.NumWorkers(0); got != 1 {
+		t.Fatalf("NumWorkers(0) = %d, want 1", got)
 	}
 }

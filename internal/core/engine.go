@@ -8,6 +8,21 @@
 // Two modes are provided: ModeLDC applies the density-adaptive boundary
 // potential v_bc = (ρα − ρ)/ξ of Eq. (2); ModeDC omits it, reproducing
 // the original DC-DFT algorithm used as the baseline in Fig. 7.
+//
+// Memory model (the weak-scaling §4 regime): domains are STREAMED
+// through a bounded pool of reusable solver workspaces rather than each
+// owning a resident plane-wave engine. The heavy machinery — basis, FFT
+// plans, eigensolver scratch, band storage — exists only Workers times;
+// per-domain persistent state is the compact domainState (assigned
+// atoms, the ρα boundary-potential history, eigenvalues/occupations and
+// a wave-function handle), so total memory is
+//
+//	O(workers × localGrid × bands  +  domains × localGrid)
+//
+// instead of O(domains × localGrid × bands), and the domain count can
+// grow 100–1000× past the worker count. Wave functions persist between
+// SCF iterations through a pluggable store — in memory by default, or
+// spilled to disk (Config.SpillDir) to keep RAM strictly O(workers).
 package core
 
 import (
@@ -68,10 +83,21 @@ type Config struct {
 	BandByBand bool    // BLAS2 reference path in the domain solver
 	Seed       int64
 
-	// Workers caps the number of concurrent domain solves (0 = GOMAXPROCS).
-	// On the real machine each domain owns an MPI communicator (§3.3);
-	// here each domain solve is one task in a goroutine pool.
+	// Workers caps the number of concurrent domain solves (0 = GOMAXPROCS)
+	// — and thereby the number of resident solver workspaces: all domains
+	// stream through min(Workers, occupied domains) workspaces. On the
+	// real machine each domain owns an MPI communicator (§3.3); here each
+	// domain visit is one task on the bounded worker pool.
 	Workers int
+
+	// SpillDir, when non-empty, spills per-domain wave functions to files
+	// under this directory between SCF iterations instead of holding them
+	// in memory, bounding resident memory by the worker count even in the
+	// wave-function store. The round trip is bit-exact, so a spilled run
+	// reproduces an in-memory run bitwise. Call Engine.Close to remove
+	// the spill files. Empty = keep wave functions in memory (one compact
+	// coefficient slice per occupied domain).
+	SpillDir string
 }
 
 func (c *Config) setDefaults() {
@@ -101,20 +127,31 @@ func (c *Config) setDefaults() {
 	}
 }
 
-// domainSolver couples one DC domain's plane-wave engine with its DC
-// bookkeeping.
-type domainSolver struct {
-	da       *dc.DomainAtoms
-	eng      *scf.Engine
-	rhoPrev  *grid.Field // damped ρα history driving the LDC boundary potential
-	rhoLocal *grid.Field // current local density ρα (extended domain)
-	vbc      []float64   // boundary potential applied in the last domain solve
+// bandsFor returns the Kohn–Sham band count for a domain holding the
+// given valence charge: enough for nelec/2 doubly-occupied states plus
+// 20% + 4 partially-occupied headroom for the Fermi smearing.
+func bandsFor(valence float64) int {
+	return int(math.Ceil(valence/2*1.2)) + 4
+}
 
-	// Per-iteration results.
-	eig     []float64
-	coreW   []float64   // per-band core weights w_nα = ∫_Ω0α |ψ_n|²
-	bandRho [][]float64 // per-band |ψ̃_n|²/Ω on the local grid
-	occ     []float64
+// domainState is the compact persistent state of one DC domain — the
+// ONLY state that scales with the domain count. The heavy solver
+// machinery lives in the bounded workspace pool; wave functions live in
+// the engine's store (memory or disk) keyed by the domain index.
+type domainState struct {
+	da   *dc.DomainAtoms
+	di   int   // domain index (store key, deterministic seed)
+	nb   int   // Kohn–Sham bands; 0 = vacuum fast path (no solver at all)
+	seed int64 // per-domain eigensolver seed
+
+	rhoPrev *grid.Field // damped ρα history driving the LDC boundary potential
+
+	// Results of the last SCF iteration.
+	eig    []float64 // eigenvalues
+	coreW  []float64 // per-band core weights w_nα = ∫_Ω0α |ψ_n|²
+	occ    []float64 // occupations at the last global μ
+	eBC    float64   // ∫_core v_bc ρα of the last assembly (LDC double counting)
+	hasPsi bool      // wave functions present in the store
 }
 
 // Engine is a complete LDC-DFT calculation on one atomic configuration.
@@ -123,22 +160,30 @@ type Engine struct {
 	Sys     *atoms.System
 	Global  grid.Grid
 	Domains []grid.Domain
-	solvers []*domainSolver
-	mg      *multigrid.Solver
-	mixer   scf.Mixer
+
+	states []*domainState
+	active []int        // indices of occupied (non-vacuum) domains, ascending
+	ws     []*workspace // bounded solver workspace pool: min(Workers, occupied)
+	store  psiStore     // per-domain wave functions (memory or disk spill)
+	pool   bsd.Pool
+
+	mg    *multigrid.Solver
+	mixer scf.Mixer
 
 	Rho *grid.Field // current global density
 
 	// Diagnostics of the last SCF step.
-	LastEnergy  float64
-	LastMu      float64
-	SCFIters    int // cumulative SCF iterations (the paper counts these)
-	lastVH      *grid.Field
-	initialized bool
+	LastEnergy float64
+	LastMu     float64
+	SCFIters   int // cumulative SCF iterations (the paper counts these)
+	lastVH     *grid.Field
 }
 
 // NewEngine validates the configuration, decomposes the cell, assigns
-// atoms to domains, and builds one plane-wave engine per domain.
+// atoms to domains, and builds the bounded workspace pool the domains
+// will stream through. Vacuum domains (no atoms in the extended region)
+// get no solver state at all — they contribute zero density and zero
+// Kohn–Sham states.
 func NewEngine(sys *atoms.System, cfg Config) (*Engine, error) {
 	cfg.setDefaults()
 	if err := sys.Validate(); err != nil {
@@ -160,7 +205,8 @@ func NewEngine(sys *atoms.System, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{Cfg: cfg, Sys: sys, Global: g, Domains: doms, mg: mg}
+	e := &Engine{Cfg: cfg, Sys: sys, Global: g, Domains: doms, mg: mg,
+		pool: bsd.Pool{Workers: cfg.Workers}}
 	switch {
 	case cfg.Pulay:
 		e.mixer = &scf.PulayMixer{Alpha: cfg.MixAlpha}
@@ -169,33 +215,70 @@ func NewEngine(sys *atoms.System, cfg Config) (*Engine, error) {
 	default:
 		e.mixer = &scf.LinearMixer{Alpha: cfg.MixAlpha}
 	}
+	maxNb := 0
 	for di, da := range domAtoms {
-		lg := doms[di].LocalGrid()
-		nelec := da.Valence()
-		nb := int(math.Ceil(nelec/2*1.2)) + 4
-		if len(da.Species) == 0 {
-			// Empty domain (vacuum): keep a minimal band set.
-			nb = 2
+		st := &domainState{da: da, di: di, seed: cfg.Seed + int64(di)*7919 + 1}
+		if len(da.Species) > 0 {
+			st.nb = bandsFor(da.Valence())
+			e.active = append(e.active, di)
+			if st.nb > maxNb {
+				maxNb = st.nb
+			}
 		}
-		seng, err := scf.NewEngine(lg.L, lg.N, cfg.Ecut, nb, da.Species, da.Local,
-			cfg.Seed+int64(di)*7919+1)
+		e.states = append(e.states, st)
+	}
+	if len(e.active) > 0 {
+		lg := doms[0].LocalGrid() // uniform decomposition: all domains share it
+		nw := e.pool.NumWorkers(len(e.active))
+		for w := 0; w < nw; w++ {
+			ws, err := newWorkspace(lg, cfg, maxNb)
+			if err != nil {
+				e.Close()
+				return nil, fmt.Errorf("core: workspace %d: %w", w, err)
+			}
+			e.ws = append(e.ws, ws)
+		}
+		if np := e.ws[0].eng.Basis.Np(); maxNb > np {
+			e.Close()
+			return nil, fmt.Errorf("core: %d bands exceed the %d-plane-wave domain basis (raise Ecut or the domain size)", maxNb, np)
+		}
+		e.store, err = newPsiStore(cfg.SpillDir)
 		if err != nil {
-			return nil, fmt.Errorf("core: domain %d: %w", di, err)
+			return nil, err
 		}
-		seng.EigenIters = cfg.EigenIters
-		seng.BandByBand = cfg.BandByBand
-		e.solvers = append(e.solvers, &domainSolver{da: da, eng: seng})
 	}
 	e.Rho = e.initialDensity()
-	for _, s := range e.solvers {
-		s.rhoPrev = s.da.Domain.Extract(e.Rho)
+	for _, di := range e.active {
+		st := e.states[di]
+		st.rhoPrev = st.da.Domain.Extract(e.Rho)
 	}
-	e.initialized = true
 	return e, nil
 }
 
+// Close releases the engine's wave-function store (removing spill files
+// when Config.SpillDir is in use). The engine must not solve or compute
+// forces afterwards. Close is idempotent and nil-safe on a zero store.
+func (e *Engine) Close() error {
+	if e.store == nil {
+		return nil
+	}
+	err := e.store.close()
+	e.store = nil
+	return err
+}
+
 // NumDomains returns the domain count.
-func (e *Engine) NumDomains() int { return len(e.solvers) }
+func (e *Engine) NumDomains() int { return len(e.states) }
+
+// OccupiedDomains returns the number of domains holding atoms — the
+// domains that actually stream through the workspace pool; the rest are
+// vacuum and cost nothing.
+func (e *Engine) OccupiedDomains() int { return len(e.active) }
+
+// ResidentWorkspaces returns the size of the bounded solver workspace
+// pool — min(Cfg.Workers, occupied domains). Heavy solver memory scales
+// with this number, never with the domain count.
+func (e *Engine) ResidentWorkspaces() int { return len(e.ws) }
 
 // SetDensity installs a starting global density (e.g. the converged
 // density of the previous MD step — the warm start that keeps the
@@ -206,8 +289,9 @@ func (e *Engine) SetDensity(rho *grid.Field) error {
 		return fmt.Errorf("core: density grid mismatch")
 	}
 	copy(e.Rho.Data, rho.Data)
-	for _, s := range e.solvers {
-		s.rhoPrev = s.da.Domain.Extract(e.Rho)
+	for _, di := range e.active {
+		st := e.states[di]
+		st.da.Domain.ExtractInto(e.Rho, st.rhoPrev)
 	}
 	return nil
 }
@@ -221,11 +305,17 @@ func (e *Engine) ExportDensity() *grid.Field {
 
 // DegreesOfFreedom returns the total number of wave-function and charge-
 // density values — the quantity the paper's abstract counts (39.8
-// trillion for the 50.3M-atom run).
+// trillion for the 50.3M-atom run). It is computed from the domain
+// geometry and band counts alone, so it works whether or not any solver
+// workspace is resident (and regardless of which domain currently
+// occupies one).
 func (e *Engine) DegreesOfFreedom() int64 {
 	var dof int64
-	for _, s := range e.solvers {
-		dof += int64(s.eng.Basis.Grid.Size()) * int64(s.eng.NumBands()+1)
+	for _, st := range e.states {
+		if st.nb == 0 {
+			continue
+		}
+		dof += int64(st.da.Domain.LocalGrid().Size()) * int64(st.nb+1)
 	}
 	dof += int64(e.Global.Size())
 	return dof
@@ -268,11 +358,12 @@ func (e *Engine) initialDensity() *grid.Field {
 	return f
 }
 
-// parallelDomains runs f over every domain solver on the BSD coarse-level
-// task pool (one task per domain communicator, §3.3).
-func (e *Engine) parallelDomains(f func(*domainSolver) error) error {
-	pool := bsd.Pool{Workers: e.Cfg.Workers}
-	return pool.Run(len(e.solvers), func(i int) error {
-		return f(e.solvers[i])
+// streamDomains runs f over every occupied domain, streaming them
+// through the bounded workspace pool: worker w exclusively owns
+// workspace e.ws[w] for the duration, so workspace scratch needs no
+// locking, and at most len(e.ws) domains are resident at any instant.
+func (e *Engine) streamDomains(f func(ws *workspace, st *domainState) error) error {
+	return e.pool.RunWorkers(len(e.active), func(w, i int) error {
+		return f(e.ws[w], e.states[e.active[i]])
 	})
 }

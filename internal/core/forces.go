@@ -25,23 +25,47 @@ func (e *Engine) ionIonEnergy() float64 {
 	return eII
 }
 
-// Forces returns the total force on every atom: each domain computes the
+// Forces returns the total force on every atom: the occupied domains
+// stream through the workspace pool once more, each computing the
 // Hellmann–Feynman forces (local pseudopotential against its local
-// density, plus nonlocal projector terms) for the atoms it owns (its
-// core atoms); the global ion-ion term is evaluated once on the full
-// cell. Every atom belongs to exactly one core, so the assignment is
-// complete and non-overlapping.
+// density, rebuilt from the stored wave functions, plus nonlocal
+// projector terms) for the atoms it owns (its core atoms); the global
+// ion-ion term is evaluated once on the full cell. Every atom belongs to
+// exactly one core, so the concurrent writes into the force array are
+// disjoint, and vacuum domains own no atoms at all.
 func (e *Engine) Forces() ([]geom.Vec3, error) {
 	forces := make([]geom.Vec3, e.Sys.NumAtoms())
-	err := e.parallelDomains(func(s *domainSolver) error {
-		if len(s.da.Species) == 0 || s.occ == nil || s.rhoLocal == nil {
-			return nil
+	err := e.streamDomains(func(ws *workspace, st *domainState) error {
+		if st.occ == nil || !st.hasPsi {
+			return nil // no SCF step yet: only ion-ion forces exist
 		}
-		b := s.eng.Basis
-		fLoc := pw.LocalForces(b, s.rhoLocal.Data, s.da.Species, s.da.Local)
-		fNl := pw.NonlocalForces(b, s.eng.Ham.Proj, s.eng.Psi, s.occ, len(s.da.Species))
-		for k, gi := range s.da.Index {
-			if !s.da.InCore[k] {
+		if err := ws.retarget(st, e.store, true); err != nil {
+			return err
+		}
+		b := ws.eng.Basis
+		gsz := b.Grid.Size()
+		batch := b.GetBatch(st.nb * gsz)
+		defer b.PutBatch(batch)
+		b.ToRealSpaceBatch(ws.eng.Psi, batch)
+		invVol := 1 / b.Volume()
+		local := ws.rhoLocal
+		for i := range local.Data {
+			local.Data[i] = 0
+		}
+		for n, f := range st.occ {
+			if f == 0 {
+				continue
+			}
+			bv := batch[n*gsz : (n+1)*gsz]
+			for i, v := range bv {
+				band := (real(v)*real(v) + imag(v)*imag(v)) * invVol
+				local.Data[i] += f * band
+			}
+		}
+		fLoc := pw.LocalForces(b, local.Data, st.da.Species, st.da.Local)
+		fNl := pw.NonlocalForces(b, ws.eng.Ham.Proj, ws.eng.Psi, st.occ, len(st.da.Species))
+		for k, gi := range st.da.Index {
+			if !st.da.InCore[k] {
 				continue
 			}
 			forces[gi] = forces[gi].Add(fLoc[k]).Add(fNl[k])

@@ -42,8 +42,9 @@ func TestSCFStepWorkerInvariance(t *testing.T) {
 	}
 }
 
-// TestSCFStepReusesLocalDensityBuffers: stage (4) must not allocate a
-// fresh grid.Field per domain per iteration — the ρα buffers persist
+// TestSCFStepReusesLocalDensityBuffers: the streamed stages must not
+// allocate fresh grid.Fields per domain visit — every workspace keeps
+// its scratch fields, and every domain keeps its ρα history buffer,
 // across SCF steps.
 func TestSCFStepReusesLocalDensityBuffers(t *testing.T) {
 	sys := atoms.BuildSiC(1)
@@ -51,22 +52,31 @@ func TestSCFStepReusesLocalDensityBuffers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer e.Close()
 	if _, _, err := e.SCFStep(); err != nil {
 		t.Fatal(err)
 	}
-	first := make([]*float64, len(e.solvers))
-	for i, s := range e.solvers {
-		if s.rhoLocal == nil {
-			t.Fatalf("solver %d has no rhoLocal after a step", i)
+	wsFirst := make([]*float64, len(e.ws))
+	for i, ws := range e.ws {
+		wsFirst[i] = &ws.rhoLocal.Data[0]
+	}
+	prevFirst := make([]*float64, len(e.states))
+	for i, st := range e.states {
+		if st.rhoPrev != nil {
+			prevFirst[i] = &st.rhoPrev.Data[0]
 		}
-		first[i] = &s.rhoLocal.Data[0]
 	}
 	if _, _, err := e.SCFStep(); err != nil {
 		t.Fatal(err)
 	}
-	for i, s := range e.solvers {
-		if &s.rhoLocal.Data[0] != first[i] {
-			t.Fatalf("solver %d reallocated rhoLocal on the second step", i)
+	for i, ws := range e.ws {
+		if &ws.rhoLocal.Data[0] != wsFirst[i] {
+			t.Fatalf("workspace %d reallocated rhoLocal on the second step", i)
+		}
+	}
+	for i, st := range e.states {
+		if st.rhoPrev != nil && &st.rhoPrev.Data[0] != prevFirst[i] {
+			t.Fatalf("domain %d reallocated its density history on the second step", i)
 		}
 	}
 }

@@ -35,11 +35,11 @@ func (e *Engine) DensityOfStates(emin, emax float64, bins int, sigma float64) []
 		out[i].Energy = emin + (float64(i)+0.5)*de
 	}
 	norm := 1 / (sigma * math.Sqrt(2*math.Pi))
-	for _, s := range e.solvers {
-		for n, eps := range s.eig {
+	for _, st := range e.states {
+		for n, eps := range st.eig {
 			w := 1.0
-			if n < len(s.coreW) {
-				w = s.coreW[n]
+			if n < len(st.coreW) {
+				w = st.coreW[n]
 			}
 			if w == 0 {
 				continue
@@ -69,12 +69,12 @@ type Frontier struct {
 func (e *Engine) FrontierOrbitals() (Frontier, bool) {
 	type state struct{ eps, occ float64 }
 	var all []state
-	for _, s := range e.solvers {
-		if s.occ == nil {
+	for _, st := range e.states {
+		if st.occ == nil {
 			continue
 		}
-		for n, eps := range s.eig {
-			all = append(all, state{eps, s.occ[n]})
+		for n, eps := range st.eig {
+			all = append(all, state{eps, st.occ[n]})
 		}
 	}
 	if len(all) == 0 {

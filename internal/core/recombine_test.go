@@ -36,10 +36,10 @@ func TestRecombineDOSAndFrontier(t *testing.T) {
 		integral += p.States * de
 	}
 	var wsum float64
-	for _, s := range e.solvers {
-		for n := range s.eig {
-			if s.eig[n] > -3 && s.eig[n] < 3 {
-				wsum += 2 * s.coreW[n]
+	for _, st := range e.states {
+		for n := range st.eig {
+			if st.eig[n] > -3 && st.eig[n] < 3 {
+				wsum += 2 * st.coreW[n]
 			}
 		}
 	}

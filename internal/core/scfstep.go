@@ -49,14 +49,22 @@ var ErrNotConverged = errors.New("core: SCF not converged")
 // SCFStep performs one self-consistent-field iteration:
 //
 //  1. Global: V_H[ρ] by multigrid on the global grid; v_xc[ρ] pointwise.
-//  2. Local (parallel over domains): assemble the domain Hamiltonian
-//     Eq. (3) — ionic potential of domain atoms + extracted V_H + v_xc +
-//     (LDC) boundary potential v_bc = (ρα_prev − ρ)/ξ — and refine the
-//     local Kohn–Sham states.
+//  2. Local (domains streamed through the workspace pool): assemble the
+//     domain Hamiltonian Eq. (3) — ionic potential of domain atoms +
+//     extracted V_H + v_xc + (LDC) boundary potential
+//     v_bc = (ρα_prev − ρ)/ξ — refine the local Kohn–Sham states, and
+//     record eigenvalues + core weights; wave functions go back to the
+//     store before the workspace moves to its next domain.
 //  3. Global: chemical potential μ from the core-weighted electron count
-//     (Newton–Raphson, Fig. 2 Eq. (c)).
-//  4. Local → global: domain densities assembled through the partition
-//     of unity into the new global density.
+//     (Newton–Raphson, Fig. 2 Eq. (c)). μ needs every domain's spectrum,
+//     which is why the streamed step is two passes, not one.
+//  4. Local → global (second streamed pass): occupations at μ, local
+//     densities rebuilt from the stored wave functions, and incremental
+//     assembly through the partition of unity into the new global
+//     density as each domain completes.
+//
+// Vacuum domains (no atoms in the extended region) never enter either
+// pass: they hold no Kohn–Sham states and contribute zero density.
 //
 // The returned density is NOT yet mixed into the engine state; Solve
 // handles mixing and convergence control.
@@ -73,10 +81,10 @@ func (e *Engine) SCFStep() (*grid.Field, StepResult, error) {
 	e.lastVH = vh
 	res.MGCycles = mgres.Cycles
 
-	// (2) Domain solves.
+	// (2) Domain solves, streamed through the bounded workspace pool.
 	spD := phDomains.StartExclusive()
-	err = e.parallelDomains(func(s *domainSolver) error {
-		return e.solveDomain(s, vh)
+	err = e.streamDomains(func(ws *workspace, st *domainState) error {
+		return e.solveDomain(ws, st, vh)
 	})
 	spD.Stop()
 	if err != nil {
@@ -84,13 +92,15 @@ func (e *Engine) SCFStep() (*grid.Field, StepResult, error) {
 	}
 
 	// (3) Global chemical potential from all domain eigenvalues with
-	// core weights.
+	// core weights. States are visited in domain-index order so the
+	// Newton–Raphson sums are independent of the streaming schedule.
 	spM := phMu.StartExclusive()
 	var eig, w []float64
-	for _, s := range e.solvers {
-		eig = append(eig, s.eig...)
-		w = append(w, s.coreW...)
-		res.BandCount += len(s.eig)
+	for _, di := range e.active {
+		st := e.states[di]
+		eig = append(eig, st.eig...)
+		w = append(w, st.coreW...)
+		res.BandCount += len(st.eig)
 	}
 	mu, err := WeightedChemicalPotential(eig, w, e.Sys.TotalValence(), e.Cfg.KT)
 	spM.Stop()
@@ -100,47 +110,17 @@ func (e *Engine) SCFStep() (*grid.Field, StepResult, error) {
 	res.Mu = mu
 	e.LastMu = mu
 
-	// (4) Occupations, local densities, global assembly — parallel over
-	// domains on the BSD pool. AccumulateCore writes each domain's core
-	// region, and the partition of unity assigns every global point to
-	// exactly one core, so the concurrent merges into rhoOut are disjoint
-	// and race-free. The per-domain ρα buffer is reused across SCF
-	// iterations instead of allocating a fresh field every pass.
+	// (4) Occupations, local densities, global assembly — the second
+	// streamed pass. AccumulateCore writes each domain's core region, and
+	// the partition of unity assigns every global point to exactly one
+	// core, so the incremental merges into rhoOut are disjoint and
+	// race-free; vacuum cores stay at the zero the fresh field starts
+	// with.
 	spA := phAssembly.StartExclusive()
 	rhoOut := grid.NewField(e.Global)
-	alpha := e.Cfg.MixAlpha
-	err = e.parallelDomains(func(s *domainSolver) error {
-		s.occ = scf.Occupations(s.eig, mu, e.Cfg.KT)
-		if s.rhoLocal == nil {
-			s.rhoLocal = grid.NewField(s.da.Domain.LocalGrid())
-		} else {
-			for i := range s.rhoLocal.Data {
-				s.rhoLocal.Data[i] = 0
-			}
-		}
-		local := s.rhoLocal
-		var fl int64
-		for n, f := range s.occ {
-			if f == 0 {
-				continue
-			}
-			for i, v := range s.bandRho[n] {
-				local.Data[i] += f * v
-			}
-			fl += 2 * int64(len(s.bandRho[n]))
-		}
-		// Damp the ρα history driving v_bc with the same mixing factor
-		// applied to the global density, so the v_bc = (ρα − ρ)/ξ
-		// difference compares quantities of the same SCF generation; the
-		// raw one-step lag produces a period-2 charge-sloshing
-		// oscillation.
-		for i, v := range local.Data {
-			s.rhoPrev.Data[i] = (1-alpha)*s.rhoPrev.Data[i] + alpha*v
-		}
-		fl += 3 * int64(len(local.Data))
-		perf.Global.AddScalar(fl)
-		s.da.Domain.AccumulateCore(local, rhoOut)
-		return nil
+	err = e.streamDomains(func(ws *workspace, st *domainState) error {
+		st.occ = scf.Occupations(st.eig, mu, e.Cfg.KT)
+		return e.assembleDomain(ws, st, rhoOut)
 	})
 	spA.Stop()
 	if err != nil {
@@ -159,73 +139,145 @@ func (e *Engine) SCFStep() (*grid.Field, StepResult, error) {
 	return rhoOut, res, nil
 }
 
-// solveDomain refines one domain's Kohn–Sham states against the current
-// global fields.
-func (e *Engine) solveDomain(s *domainSolver, vh *grid.Field) error {
-	d := s.da.Domain
-	rhoExt := d.Extract(e.Rho)
-	vhExt := d.Extract(vh)
-	size := len(rhoExt.Data)
-	veff := make([]float64, size)
-	invXi := 0.0
+// invXi returns 1/ξ in LDC mode and 0 in plain-DC mode (where the
+// boundary potential vanishes identically).
+func (e *Engine) invXi() float64 {
 	if e.Cfg.Mode == ModeLDC {
-		invXi = 1 / e.Cfg.Xi
+		return 1 / e.Cfg.Xi
 	}
-	if s.vbc == nil {
-		s.vbc = make([]float64, size)
+	return 0
+}
+
+// solveDomain refines one domain's Kohn–Sham states against the current
+// global fields inside a borrowed workspace, leaving the refined wave
+// functions in the store and the eigenvalues + core weights in the
+// domain's compact state.
+func (e *Engine) solveDomain(ws *workspace, st *domainState, vh *grid.Field) error {
+	d := st.da.Domain
+	d.ExtractInto(e.Rho, ws.rhoExt)
+	d.ExtractInto(vh, ws.vhExt)
+	if err := ws.retarget(st, e.store, true); err != nil {
+		return fmt.Errorf("core: domain %d retarget: %w", st.di, err)
 	}
-	vps := s.eng.Vps
-	for i := 0; i < size; i++ {
-		s.vbc[i] = (s.rhoPrev.Data[i] - rhoExt.Data[i]) * invXi
-		veff[i] = vps[i] + vhExt.Data[i] + xc.Potential(rhoExt.Data[i]) + s.vbc[i]
+	invXi := e.invXi()
+	vps := ws.eng.Vps
+	for i := range ws.veff {
+		ws.vbc[i] = (st.rhoPrev.Data[i] - ws.rhoExt.Data[i]) * invXi
+		ws.veff[i] = vps[i] + ws.vhExt.Data[i] + xc.Potential(ws.rhoExt.Data[i]) + ws.vbc[i]
 	}
-	s.eng.SetEffectivePotential(veff)
-	eig, err := s.eng.Diagonalize()
+	ws.eng.SetEffectivePotential(ws.veff)
+	eig, err := ws.eng.Diagonalize()
 	if err != nil {
 		return fmt.Errorf("core: domain solve: %w", err)
 	}
-	s.eig = eig.Eigenvalues
+	st.eig = eig.Eigenvalues
 
-	// Per-band densities and core weights.
-	b := s.eng.Basis
+	// Core weights w_nα = ∫_core |ψ_n|² dV, via one batched transform of
+	// all bands to real space (the batch buffer is pooled on the basis,
+	// so steady-state iterations allocate nothing here).
+	b := ws.eng.Basis
 	lg := b.Grid
-	nb := s.eng.NumBands()
-	if s.bandRho == nil {
-		s.bandRho = make([][]float64, nb)
-		for n := range s.bandRho {
-			s.bandRho[n] = make([]float64, lg.Size())
-		}
-		s.coreW = make([]float64, nb)
-	}
-	invVol := 1 / b.Volume()
+	nb := st.nb
 	gsz := lg.Size()
-	// All bands go to real space in one batched 3-D transform; the batch
-	// buffer is pooled on the basis, so steady-state SCF iterations
-	// allocate nothing here.
 	batch := b.GetBatch(nb * gsz)
 	defer b.PutBatch(batch)
-	b.ToRealSpaceBatch(s.eng.Psi, batch)
+	b.ToRealSpaceBatch(ws.eng.Psi, batch)
+	invVol := 1 / b.Volume()
 	dv := lg.DV()
 	edge := lg.N
 	buf := d.BufN
 	coreN := d.CoreN
+	if st.coreW == nil {
+		st.coreW = make([]float64, nb)
+	}
 	for n := 0; n < nb; n++ {
-		br := s.bandRho[n]
-		for i, v := range batch[n*gsz : (n+1)*gsz] {
-			br[i] = (real(v)*real(v) + imag(v)*imag(v)) * invVol
-		}
-		// Core weight w_nα = ∫_core |ψ|² dV.
+		bv := batch[n*gsz : (n+1)*gsz]
 		var wsum float64
 		for ix := buf; ix < buf+coreN; ix++ {
 			for iy := buf; iy < buf+coreN; iy++ {
 				base := (ix*edge + iy) * edge
 				for iz := buf; iz < buf+coreN; iz++ {
-					wsum += br[base+iz]
+					v := bv[base+iz]
+					wsum += (real(v)*real(v) + imag(v)*imag(v)) * invVol
 				}
 			}
 		}
-		s.coreW[n] = wsum * dv
+		st.coreW[n] = wsum * dv
 	}
+
+	if err := e.store.save(st.di, ws.eng.PsiData()); err != nil {
+		return err
+	}
+	st.hasPsi = true
+	return nil
+}
+
+// assembleDomain rebuilds one domain's local density ρα from its stored
+// wave functions and fresh occupations, records the boundary-potential
+// double-counting term, damps the ρα history, and scatters the core
+// region into the global density — the per-domain unit of the
+// incremental assembly pass.
+func (e *Engine) assembleDomain(ws *workspace, st *domainState, rhoOut *grid.Field) error {
+	d := st.da.Domain
+	if err := ws.retarget(st, e.store, false); err != nil {
+		return fmt.Errorf("core: domain %d reload: %w", st.di, err)
+	}
+	b := ws.eng.Basis
+	gsz := b.Grid.Size()
+	batch := b.GetBatch(st.nb * gsz)
+	defer b.PutBatch(batch)
+	b.ToRealSpaceBatch(ws.eng.Psi, batch)
+	invVol := 1 / b.Volume()
+
+	local := ws.rhoLocal
+	for i := range local.Data {
+		local.Data[i] = 0
+	}
+	var fl int64
+	for n, f := range st.occ {
+		if f == 0 {
+			continue
+		}
+		bv := batch[n*gsz : (n+1)*gsz]
+		for i, v := range bv {
+			band := (real(v)*real(v) + imag(v)*imag(v)) * invVol
+			local.Data[i] += f * band
+		}
+		fl += 2 * int64(gsz)
+	}
+
+	// Boundary-potential double counting ∫_core v_bc ρα (LDC only),
+	// evaluated with the v_bc this iteration's solve applied — i.e.
+	// against the ρα history BEFORE the damping below.
+	st.eBC = 0
+	if e.Cfg.Mode == ModeLDC {
+		d.ExtractInto(e.Rho, ws.rhoExt)
+		invXi := e.invXi()
+		ldv := local.Grid.DV()
+		edge := d.EdgeN()
+		for ix := d.BufN; ix < d.BufN+d.CoreN; ix++ {
+			for iy := d.BufN; iy < d.BufN+d.CoreN; iy++ {
+				base := (ix*edge + iy) * edge
+				for iz := d.BufN; iz < d.BufN+d.CoreN; iz++ {
+					i := base + iz
+					vbc := (st.rhoPrev.Data[i] - ws.rhoExt.Data[i]) * invXi
+					st.eBC += vbc * local.Data[i] * ldv
+				}
+			}
+		}
+	}
+
+	// Damp the ρα history driving v_bc with the same mixing factor
+	// applied to the global density, so the v_bc = (ρα − ρ)/ξ difference
+	// compares quantities of the same SCF generation; the raw one-step
+	// lag produces a period-2 charge-sloshing oscillation.
+	alpha := e.Cfg.MixAlpha
+	for i, v := range local.Data {
+		st.rhoPrev.Data[i] = (1-alpha)*st.rhoPrev.Data[i] + alpha*v
+	}
+	fl += 3 * int64(len(local.Data))
+	perf.Global.AddScalar(fl)
+	d.AccumulateCore(local, rhoOut)
 	return nil
 }
 
@@ -238,12 +290,15 @@ func (e *Engine) solveDomain(s *domainSolver, vh *grid.Field) error {
 // The band term counts each state's energy weighted by its core fraction
 // (the partition of unity applied to the energy density); the integrals
 // remove the Hartree and XC double counting; the v_bc term removes the
-// boundary potential's contribution to the band energies.
+// boundary potential's contribution to the band energies. The per-domain
+// pieces were computed during the streamed passes; here they are reduced
+// in domain-index order, independent of the streaming schedule.
 func (e *Engine) assembleEnergy(rho *grid.Field, vh *grid.Field) float64 {
 	var eBand float64
-	for _, s := range e.solvers {
-		for n, f := range s.occ {
-			eBand += f * s.eig[n] * s.coreW[n]
+	for _, di := range e.active {
+		st := e.states[di]
+		for n, f := range st.occ {
+			eBand += f * st.eig[n] * st.coreW[n]
 		}
 	}
 	dv := e.Global.DV()
@@ -254,27 +309,10 @@ func (e *Engine) assembleEnergy(rho *grid.Field, vh *grid.Field) float64 {
 	}
 	eH *= dv
 	eXC *= dv
-	// Boundary-potential double counting (LDC only): subtract
-	// Σ_α ∫_core v_bc(r) ρα(r) dr using the v_bc each domain actually
-	// applied and the local density its bands produced.
 	var eBC float64
 	if e.Cfg.Mode == ModeLDC {
-		for _, s := range e.solvers {
-			if s.vbc == nil || s.rhoLocal == nil {
-				continue
-			}
-			d := s.da.Domain
-			edge := d.EdgeN()
-			ldv := s.rhoLocal.Grid.DV()
-			for ix := d.BufN; ix < d.BufN+d.CoreN; ix++ {
-				for iy := d.BufN; iy < d.BufN+d.CoreN; iy++ {
-					base := (ix*edge + iy) * edge
-					for iz := d.BufN; iz < d.BufN+d.CoreN; iz++ {
-						i := base + iz
-						eBC += s.vbc[i] * s.rhoLocal.Data[i] * ldv
-					}
-				}
-			}
+		for _, di := range e.active {
+			eBC += e.states[di].eBC
 		}
 	}
 	eII := e.ionIonEnergy()

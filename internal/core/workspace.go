@@ -1,0 +1,64 @@
+package core
+
+import (
+	"ldcdft/internal/grid"
+	"ldcdft/internal/scf"
+)
+
+// workspace is one slot of the bounded solver pool: a retargetable
+// plane-wave engine plus all per-visit scratch for the uniform local
+// grid. A workspace is exclusively owned by one pool worker for the
+// duration of a streamed pass (bsd.Pool.RunWorkers), so none of its
+// fields need locking. Its memory is O(localGrid × maxBands) and is
+// independent of how many domains stream through it.
+type workspace struct {
+	eng *scf.Engine
+
+	rhoExt   *grid.Field // extracted global density over the extended domain
+	vhExt    *grid.Field // extracted global Hartree potential
+	rhoLocal *grid.Field // assembled local density ρα of the current visit
+	veff     []float64   // effective potential scratch
+	vbc      []float64   // boundary potential v_bc = (ρα_prev − ρ)/ξ scratch
+}
+
+// newWorkspace builds one pool slot for the shared local cell geometry,
+// able to host any domain with up to maxBands Kohn–Sham bands.
+func newWorkspace(lg grid.Grid, cfg Config, maxBands int) (*workspace, error) {
+	eng, err := scf.NewWorkspaceEngine(lg.L, lg.N, cfg.Ecut, maxBands)
+	if err != nil {
+		return nil, err
+	}
+	eng.EigenIters = cfg.EigenIters
+	eng.BandByBand = cfg.BandByBand
+	size := lg.Size()
+	return &workspace{
+		eng:      eng,
+		rhoExt:   grid.NewField(lg),
+		vhExt:    grid.NewField(lg),
+		rhoLocal: grid.NewField(lg),
+		veff:     make([]float64, size),
+		vbc:      make([]float64, size),
+	}, nil
+}
+
+// retarget points the workspace at a domain's atoms and band count and
+// loads its persisted wave functions from the store — or, on the
+// domain's first visit, seeds the deterministic random guess a resident
+// engine would have started from. withProjectors selects the full
+// Retarget (needed before diagonalization and nonlocal forces); passes
+// that only transform stored wave functions skip the projector rebuild.
+func (ws *workspace) retarget(st *domainState, store psiStore, withProjectors bool) error {
+	var err error
+	if withProjectors {
+		err = ws.eng.Retarget(st.da.Species, st.da.Local, st.nb)
+	} else {
+		err = ws.eng.RetargetBands(st.nb)
+	}
+	if err != nil {
+		return err
+	}
+	if st.hasPsi {
+		return store.load(st.di, ws.eng.PsiData())
+	}
+	return ws.eng.SeedRandom(st.seed)
+}

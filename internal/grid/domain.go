@@ -49,11 +49,20 @@ func (d Domain) Origin() geom.Vec3 {
 // periodically across the global cell (the nearest-neighbour ρα exchange
 // of §5.1 in serial form).
 func (d Domain) Extract(global *Field) *Field {
+	return d.ExtractInto(global, NewField(d.LocalGrid()))
+}
+
+// ExtractInto is Extract into a caller-provided local field, so a reused
+// workspace extracts without allocating. out must be on the domain's
+// local grid; it is returned for convenience.
+func (d Domain) ExtractInto(global, out *Field) *Field {
 	if global.Grid != d.Global {
 		panic("grid: domain/global grid mismatch")
 	}
 	e := d.EdgeN()
-	out := NewField(d.LocalGrid())
+	if out.Grid != d.LocalGrid() || len(out.Data) != e*e*e {
+		panic("grid: extract target does not match domain")
+	}
 	for ix := 0; ix < e; ix++ {
 		gx := d.Ox - d.BufN + ix
 		for iy := 0; iy < e; iy++ {

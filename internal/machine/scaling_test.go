@@ -1,0 +1,46 @@
+package machine
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFitPowerLaw(t *testing.T) {
+	// Exact power law recovered exactly.
+	xs := []float64{8, 64, 216, 512}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3.5 * math.Pow(x, 0.75)
+	}
+	c, alpha := FitPowerLaw(xs, ys)
+	if math.Abs(c-3.5) > 1e-9 || math.Abs(alpha-0.75) > 1e-12 {
+		t.Fatalf("exact fit: c=%g alpha=%g", c, alpha)
+	}
+
+	// Flat data (the bounded-memory profile): alpha ≈ 0.
+	flat := []float64{120, 121, 119, 120}
+	if _, a := FitPowerLaw(xs, flat); math.Abs(a) > 0.02 {
+		t.Fatalf("flat data fit alpha=%g, want ≈0", a)
+	}
+
+	// Linear data: alpha ≈ 1 despite noise.
+	noisy := make([]float64, len(xs))
+	for i, x := range xs {
+		noisy[i] = 2 * x * (1 + 0.01*float64(i%2))
+	}
+	if _, a := FitPowerLaw(xs, noisy); math.Abs(a-1) > 0.02 {
+		t.Fatalf("linear data fit alpha=%g, want ≈1", a)
+	}
+
+	// Non-positive points are skipped; too few valid points → NaN.
+	if _, a := FitPowerLaw([]float64{8, 64}, []float64{0, 5}); !math.IsNaN(a) {
+		t.Fatalf("single valid point fit alpha=%g, want NaN", a)
+	}
+	if c, a := FitPowerLaw(nil, nil); !math.IsNaN(c) || !math.IsNaN(a) {
+		t.Fatal("empty fit should be NaN")
+	}
+	// Degenerate x (all equal): determinant 0 → NaN.
+	if _, a := FitPowerLaw([]float64{8, 8}, []float64{1, 2}); !math.IsNaN(a) {
+		t.Fatalf("degenerate x fit alpha=%g, want NaN", a)
+	}
+}

@@ -285,16 +285,20 @@ func (ck *Checkpoint) encode(domainsPerAxis int) ([][]byte, error) {
 // file size in bytes.
 func WriteCheckpoint(path string, ck *Checkpoint, opts CheckpointWriteOptions) (int64, error) {
 	sp := phCheckpointWrite.Start()
-	n, err := writeCheckpoint(path, ck, opts)
+	n, _, err := writeCheckpoint(path, ck, opts)
 	sp.StopBytes(n)
 	return n, err
 }
 
-func writeCheckpoint(path string, ck *Checkpoint, opts CheckpointWriteOptions) (int64, error) {
+func writeCheckpoint(path string, ck *Checkpoint, opts CheckpointWriteOptions) (int64, uint32, error) {
 	payloads, err := ck.encode(opts.DomainsPerAxis)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
+	// The file CRC is the last payload's trailer — the identity a delta
+	// checkpoint binds to (see delta.go).
+	lastPayload := payloads[len(payloads)-1]
+	fileCRC := binary.LittleEndian.Uint32(lastPayload[len(lastPayload)-4:])
 	groupSize := opts.GroupSize
 	if groupSize == 0 {
 		groupSize = 192
@@ -302,13 +306,13 @@ func writeCheckpoint(path string, ck *Checkpoint, opts CheckpointWriteOptions) (
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
-		return 0, fmt.Errorf("qio: checkpoint: %w", err)
+		return 0, 0, fmt.Errorf("qio: checkpoint: %w", err)
 	}
 	cw, err := NewCollectiveWriter(f, groupSize)
 	if err != nil {
 		f.Close()
 		os.Remove(tmp)
-		return 0, err
+		return 0, 0, err
 	}
 	n, err := cw.WriteAll(payloads)
 	if err == nil {
@@ -322,7 +326,7 @@ func writeCheckpoint(path string, ck *Checkpoint, opts CheckpointWriteOptions) (
 	}
 	if err != nil {
 		os.Remove(tmp)
-		return n, fmt.Errorf("qio: checkpoint write %s: %w", path, err)
+		return n, 0, fmt.Errorf("qio: checkpoint write %s: %w", path, err)
 	}
 	// Durability of the rename itself: fsync the directory (best effort;
 	// not all platforms support syncing directories).
@@ -330,7 +334,7 @@ func writeCheckpoint(path string, ck *Checkpoint, opts CheckpointWriteOptions) (
 		dir.Sync()
 		dir.Close()
 	}
-	return n, nil
+	return n, fileCRC, nil
 }
 
 type ckDecoder struct{ buf []byte }

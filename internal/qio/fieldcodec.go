@@ -75,6 +75,108 @@ func CompressField(data []float64, n int) ([]byte, error) {
 	return buf, nil
 }
 
+// CompressFieldDelta encodes an n³ field losslessly against a base field
+// of the same shape. Points are visited in Hilbert order and XOR-ed
+// pointwise with the base; the resulting stream — mostly zeros when the
+// fields are close — is run-length encoded as alternating uvarint counts
+// of identical points ("zero runs") and changed points, each changed run
+// followed by its XOR-delta bit patterns (chained like CompressField so
+// smooth changes stay cheap). Identical regions therefore cost ~one byte
+// per run instead of one varint per point.
+func CompressFieldDelta(data, base []float64, n int) ([]byte, error) {
+	if n < 1 || n*n*n != len(data) {
+		return nil, fmt.Errorf("qio: field length %d is not %d³", len(data), n)
+	}
+	if len(base) != len(data) {
+		return nil, fmt.Errorf("qio: delta base length %d vs field %d", len(base), len(data))
+	}
+	order := hilbertGridOrder(n)
+	buf := make([]byte, 0, 64)
+	tmp := make([]byte, binary.MaxVarintLen64)
+	put := func(v uint64) {
+		k := binary.PutUvarint(tmp, v)
+		buf = append(buf, tmp[:k]...)
+	}
+	for p := 0; p < len(order); {
+		// Zero run: points bitwise equal to the base.
+		zs := p
+		for p < len(order) && math.Float64bits(data[order[p]]) == math.Float64bits(base[order[p]]) {
+			p++
+		}
+		put(uint64(p - zs))
+		if p == len(order) {
+			break
+		}
+		// Diff run: changed points, XOR-chained within the run.
+		ds := p
+		for p < len(order) && math.Float64bits(data[order[p]]) != math.Float64bits(base[order[p]]) {
+			p++
+		}
+		put(uint64(p - ds))
+		var prev uint64
+		for _, idx := range order[ds:p] {
+			cur := math.Float64bits(data[idx]) ^ math.Float64bits(base[idx])
+			put(cur ^ prev)
+			prev = cur
+		}
+	}
+	return buf, nil
+}
+
+// DecompressFieldDelta inverts CompressFieldDelta given the same base.
+func DecompressFieldDelta(buf []byte, base []float64, n int) ([]float64, error) {
+	if n < 1 || n*n*n != len(base) {
+		return nil, fmt.Errorf("qio: delta base length %d is not %d³", len(base), n)
+	}
+	order := hilbertGridOrder(n)
+	data := make([]float64, len(base))
+	get := func(what string) (uint64, error) {
+		v, k := binary.Uvarint(buf)
+		if k <= 0 {
+			return 0, fmt.Errorf("qio: truncated field delta (%s)", what)
+		}
+		buf = buf[k:]
+		return v, nil
+	}
+	for p := 0; p < len(order); {
+		zr, err := get("zero run")
+		if err != nil {
+			return nil, err
+		}
+		if zr > uint64(len(order)-p) {
+			return nil, fmt.Errorf("qio: field delta zero run %d exceeds remaining %d points", zr, len(order)-p)
+		}
+		for _, idx := range order[p : p+int(zr)] {
+			data[idx] = base[idx]
+		}
+		p += int(zr)
+		if p == len(order) {
+			break
+		}
+		dr, err := get("diff run")
+		if err != nil {
+			return nil, err
+		}
+		if dr == 0 || dr > uint64(len(order)-p) {
+			return nil, fmt.Errorf("qio: field delta diff run %d invalid with %d points remaining", dr, len(order)-p)
+		}
+		var prev uint64
+		for _, idx := range order[p : p+int(dr)] {
+			d, err := get("diff value")
+			if err != nil {
+				return nil, err
+			}
+			prev ^= d
+			data[idx] = math.Float64frombits(math.Float64bits(base[idx]) ^ prev)
+		}
+		p += int(dr)
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("qio: %d trailing bytes after field delta", len(buf))
+	}
+	return data, nil
+}
+
 // DecompressField inverts CompressField for an n³ field.
 func DecompressField(buf []byte, n int) ([]float64, error) {
 	if n < 1 {

@@ -36,6 +36,10 @@ type Engine struct {
 	// EigenIters is the number of eigensolver iterations per SCF cycle
 	// (the paper's weak-scaling runs use 3, §5.1).
 	EigenIters int
+
+	// psiBuf is the reusable wave-function backing store of a workspace
+	// engine (see NewWorkspaceEngine); nil for resident engines.
+	psiBuf []complex128
 }
 
 // NewEngine builds an Engine for nb bands over a cell of side cellL with

@@ -1,0 +1,116 @@
+package scf
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ldcdft/internal/atoms"
+	"ldcdft/internal/geom"
+	"ldcdft/internal/grid"
+	"ldcdft/internal/linalg"
+	"ldcdft/internal/pseudo"
+	"ldcdft/internal/pw"
+)
+
+// Workspace support: an Engine built by NewWorkspaceEngine is a reusable
+// solver shell. The geometry-bound machinery — plane-wave basis, FFT
+// plans and pooled scratch, the Hamiltonian's kinetic data — is built
+// once for a cell shape, while the atom-bound parts (nonlocal
+// projectors, ionic local potential, wave functions) are (re)installed
+// per target via Retarget. The LDC-DFT core streams all DC domains
+// through a bounded set of such workspaces: every domain of a uniform
+// decomposition shares the same local cell geometry, so one workspace
+// serves arbitrarily many domains with O(1) memory.
+
+// NewWorkspaceEngine builds a retargetable Engine for a cell of side
+// cellL with a gridN³ FFT grid and cutoff ecut, able to hold up to
+// maxBands bands without reallocation. The returned engine has no atoms
+// installed; call Retarget before solving.
+func NewWorkspaceEngine(cellL float64, gridN int, ecut float64, maxBands int) (*Engine, error) {
+	b, err := pw.NewBasis(grid.New(gridN, cellL), ecut)
+	if err != nil {
+		return nil, err
+	}
+	if maxBands < 1 {
+		return nil, fmt.Errorf("scf: workspace needs at least one band, got %d", maxBands)
+	}
+	e := &Engine{
+		Basis:      b,
+		Ham:        pw.NewHamiltonian(b, nil),
+		EigenIters: 3,
+		psiBuf:     make([]complex128, b.Np()*maxBands),
+	}
+	return e, nil
+}
+
+// ensurePsiCap grows the reusable wave-function backing store to hold nb
+// bands (it never shrinks — the workspace keeps its high-water mark).
+func (e *Engine) ensurePsiCap(nb int) {
+	need := e.Basis.Np() * nb
+	if cap(e.psiBuf) < need {
+		e.psiBuf = make([]complex128, need)
+	}
+}
+
+// RetargetBands reslices the workspace's wave-function matrix to nb
+// bands over the shared backing buffer, without touching projectors or
+// potentials. The matrix content is unspecified until the caller loads
+// or seeds it. Used by passes that only transform stored wave functions
+// (density assembly, spill reload) and need no Hamiltonian.
+func (e *Engine) RetargetBands(nb int) error {
+	np := e.Basis.Np()
+	if nb < 1 || nb > np {
+		return fmt.Errorf("scf: %d bands outside [1, %d]", nb, np)
+	}
+	e.ensurePsiCap(nb)
+	e.Psi = &linalg.CMatrix{Rows: np, Cols: nb, Data: e.psiBuf[:np*nb]}
+	return nil
+}
+
+// Retarget points the workspace at a new atomic configuration: the
+// nonlocal projectors and the ionic local potential are rebuilt for the
+// given atoms, and the wave-function matrix is resliced to nb bands.
+// Positions must be relative to the workspace cell origin. The basis,
+// FFT plans, and scratch pools are untouched — this is the O(atoms)
+// per-visit cost of streaming a domain through the workspace, versus the
+// O(grid × bands) cost of building a resident Engine.
+func (e *Engine) Retarget(species []*atoms.Species, positions []geom.Vec3, nb int) error {
+	if len(species) != len(positions) {
+		return fmt.Errorf("scf: %d species vs %d positions", len(species), len(positions))
+	}
+	if err := e.RetargetBands(nb); err != nil {
+		return err
+	}
+	e.Species = species
+	e.Positions = positions
+	e.Ham.Proj = pseudo.BuildProjectors(e.Basis.G, e.Basis.G2, e.Basis.Volume(), species, positions)
+	e.Vps = pw.BuildLocalPseudo(e.Basis, species, positions)
+	return nil
+}
+
+// SeedRandom fills the current wave-function matrix with the
+// deterministic orthonormalized random guess for the given seed —
+// bit-for-bit the Psi a resident NewEngine(seed) would start from, so a
+// streamed solve reproduces a resident solve exactly.
+func (e *Engine) SeedRandom(seed int64) error {
+	psi, err := pw.RandomOrbitals(e.Basis, e.Psi.Cols, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return err
+	}
+	copy(e.Psi.Data, psi.Data)
+	return nil
+}
+
+// LoadPsi installs stored wave-function coefficients (as exported by
+// PsiData) into the current nb-band matrix.
+func (e *Engine) LoadPsi(data []complex128) error {
+	if len(data) != len(e.Psi.Data) {
+		return fmt.Errorf("scf: stored psi has %d coefficients, workspace wants %d", len(data), len(e.Psi.Data))
+	}
+	copy(e.Psi.Data, data)
+	return nil
+}
+
+// PsiData returns the live wave-function coefficient slice (row-major,
+// Np × nb). Callers must copy it before the workspace is retargeted.
+func (e *Engine) PsiData() []complex128 { return e.Psi.Data }

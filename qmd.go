@@ -168,7 +168,7 @@ func (f *DFTForceField) Compute(sys *System) (float64, []Vec3, error) {
 		case cache.TierExact:
 			f.prevRho = res.Rho
 			f.LastSCFIters = 0
-			f.LastEngine = nil
+			f.releaseEngine()
 			return res.EnergyHa, res.Forces, nil
 		case cache.TierNear:
 			f.prevRho = res.Rho
@@ -181,6 +181,7 @@ func (f *DFTForceField) Compute(sys *System) (float64, []Vec3, error) {
 	}
 	if f.prevRho != nil {
 		if err := eng.SetDensity(f.prevRho); err != nil {
+			eng.Close()
 			return 0, nil, err
 		}
 	}
@@ -190,10 +191,16 @@ func (f *DFTForceField) Compute(sys *System) (float64, []Vec3, error) {
 	}
 	res, err := eng.SolveCtx(ctx)
 	if err != nil {
+		eng.Close()
 		return 0, nil, fmt.Errorf("qmd: SCF: %w", err)
 	}
 	f.prevRho = eng.ExportDensity()
 	f.LastSCFIters = res.Iterations
+	// The engine being replaced releases its wave-function store now
+	// (deterministically freeing spill files / psi memory) rather than at
+	// some future GC; the fresh engine stays open for post-run analysis
+	// (DOS, frontier orbitals) until the next evaluation or Close.
+	f.releaseEngine()
 	f.LastEngine = eng
 	forces, err := eng.Forces()
 	if err != nil {
@@ -212,6 +219,23 @@ func (f *DFTForceField) Compute(sys *System) (float64, []Vec3, error) {
 		}
 	}
 	return res.Energy, forces, nil
+}
+
+// releaseEngine closes and forgets the retained engine, if any.
+func (f *DFTForceField) releaseEngine() {
+	if f.LastEngine != nil {
+		f.LastEngine.Close()
+		f.LastEngine = nil
+	}
+}
+
+// Close releases the retained engine's wave-function store (spill files
+// or psi memory). Call when done with post-run analysis on LastEngine;
+// the force field remains usable — the next Compute builds a fresh
+// engine.
+func (f *DFTForceField) Close() error {
+	f.releaseEngine()
+	return nil
 }
 
 // Density returns the converged density of the most recent force
