@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt check race bench bench-smoke serve-smoke cluster-smoke bench-cache bench-multigrid bench-serve bench-scale scale-smoke bce
+.PHONY: build test vet fmt check race bench bench-smoke serve-smoke cluster-smoke exp-smoke bench-cache bench-multigrid bench-serve bench-scale scale-smoke bce
 
 build:
 	$(GO) build ./...
@@ -62,6 +62,16 @@ serve-smoke:
 # epoch is fenced with 409. CI runs this on every PR.
 cluster-smoke:
 	$(GO) test -run TestClusterSmoke -count=1 -timeout 10m -v ./cmd/qmdd/
+
+# exp-smoke is the experiment-harness gate: a 2×2 reactive validation
+# matrix runs through a real standalone qmdd daemon as a job array, the
+# first qmdexp campaign is SIGKILLed mid-flight, and the rerun must
+# resume from the durable store (cached cells skipped, only the
+# remainder resubmitted) and pass every validator — including the
+# Arrhenius fit against the paper's 0.068 eV — plus a qmdctl results
+# fetch of one array job. CI runs this on every PR.
+exp-smoke:
+	$(GO) test -run TestExpSmoke -count=1 -timeout 10m -v ./cmd/qmdexp/
 
 bench: bench-fft
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...

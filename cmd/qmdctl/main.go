@@ -13,6 +13,10 @@
 //	                         {"jobs": [...]} — arrays submit as a job
 //	                         array, in order.
 //	status <id>              print the job's state as JSON.
+//	results <id>             print a completed job's final observable
+//	                         record (energies/temperature tail, final
+//	                         energy, census and rates for reactive jobs)
+//	                         as JSON.
 //	list                     one line per known job: id, status,
 //	                         progress, worker, name.
 //	cancel <id>              cancel a queued or running job.
@@ -39,7 +43,7 @@ func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8432", "qmdd base URL")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: qmdctl [-addr URL] {submit|status|list|cancel|watch|wait} [args]\n")
+			"usage: qmdctl [-addr URL] {submit|status|results|list|cancel|watch|wait} [args]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -55,6 +59,8 @@ func main() {
 		err = c.submit(rest)
 	case "status":
 		err = c.status(rest)
+	case "results":
+		err = c.results(rest)
 	case "list":
 		err = c.list(rest)
 	case "cancel":
@@ -180,6 +186,22 @@ func (c client) status(args []string) error {
 		return fmt.Errorf("usage: qmdctl status <id>")
 	}
 	resp, err := c.do(http.MethodGet, "/v1/jobs/"+args[0], nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}
+
+// results prints a completed job's final observable record — the body
+// of GET /v1/jobs/{id}/results, passed through verbatim so callers can
+// pipe it into jq or the experiment harness.
+func (c client) results(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: qmdctl results <id>")
+	}
+	resp, err := c.do(http.MethodGet, "/v1/jobs/"+args[0]+"/results", nil)
 	if err != nil {
 		return err
 	}

@@ -66,6 +66,8 @@ func main() {
 	name := flag.String("name", "", "worker node name (worker mode; default host:pid)")
 	slots := flag.Int("slots", 2, "concurrent leased trajectories (worker mode)")
 	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "job lease TTL: a worker silent this long loses its jobs (coordinator mode)")
+	retainAge := flag.Duration("retain-age", 0, "prune terminal jobs finished longer ago than this (0 keeps forever)")
+	retainMax := flag.Int("retain-max-jobs", 0, "keep at most this many terminal jobs, oldest pruned first (0 keeps all)")
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("qmdd: ")
@@ -78,11 +80,15 @@ func main() {
 	if *cacheTol < 0 {
 		log.Fatalf("-cache-tol must be non-negative, got %g", *cacheTol)
 	}
+	if *retainAge < 0 || *retainMax < 0 {
+		log.Fatalf("-retain-age and -retain-max-jobs must be non-negative")
+	}
 	var err error
 	switch *mode {
 	case "standalone", "coordinator":
 		err = runServe(*mode == "coordinator", *addr, *data, *workers, *queueCap,
-			*drainTimeout, *leaseTTL, *cacheDir, *cacheBytes, *cacheTol)
+			*drainTimeout, *leaseTTL, *cacheDir, *cacheBytes, *cacheTol,
+			*retainAge, *retainMax)
 	case "worker":
 		err = runWorker(*coordinator, *name, *data, *slots, *cacheDir, *cacheBytes, *cacheTol)
 	default:
@@ -115,7 +121,8 @@ func openCache(data, cacheDir string, cacheBytes int64, cacheTol float64) (*cach
 
 // runServe hosts the HTTP API in standalone or coordinator mode.
 func runServe(distributed bool, addr, data string, workers, queueCap int,
-	drainTimeout, leaseTTL time.Duration, cacheDir string, cacheBytes int64, cacheTol float64) error {
+	drainTimeout, leaseTTL time.Duration, cacheDir string, cacheBytes int64, cacheTol float64,
+	retainAge time.Duration, retainMax int) error {
 	wsc, err := openCache(data, cacheDir, cacheBytes, cacheTol)
 	if err != nil {
 		return err
@@ -128,6 +135,9 @@ func runServe(distributed bool, addr, data string, workers, queueCap int,
 		Logf:        log.Printf,
 		Distributed: distributed,
 		LeaseTTL:    leaseTTL,
+
+		RetainAge:     retainAge,
+		RetainMaxJobs: retainMax,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,174 @@
+// Command qmdexp runs validation-matrix experiments (internal/expmatrix):
+// a parameter grid over a scenario generator, executed as a qmdd job
+// array, checked by observable validators, rendered as a pass/fail
+// matrix.
+//
+// Usage:
+//
+//	qmdexp [-addr URL] [-data dir] run <experiment | spec.json>
+//	qmdexp [-data dir] render <experiment | spec.json>
+//	qmdexp list
+//
+// With -addr, jobs go to a running qmdd daemon (standalone or
+// coordinator). Without it, qmdexp hosts an in-process job manager over
+// -data — the zero-setup mode. Either way, completed cells land in
+// <data>/experiments/<name>/ and are skipped when the experiment is
+// rerun, so a killed campaign resumes where it left off.
+//
+// `run` exits 1 when any validator fails (the CI gate behaviour);
+// `render` re-evaluates the stored cells without running jobs.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ldcdft/internal/expmatrix"
+	"ldcdft/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "", "qmdd base URL; empty runs jobs in-process")
+	data := flag.String("data", "qmdexp-data", "experiment store root (and job store in in-process mode)")
+	workers := flag.Int("workers", 2, "trajectory workers (in-process mode)")
+	quiet := flag.Bool("q", false, "suppress progress logging")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: qmdexp [-addr URL] [-data dir] {run|render|list} [experiment | spec.json]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("qmdexp: ")
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var err error
+	switch cmd, rest := args[0], args[1:]; cmd {
+	case "run":
+		err = run(*addr, *data, *workers, *quiet, rest, false)
+	case "render":
+		err = run(*addr, *data, *workers, *quiet, rest, true)
+	case "list":
+		err = list(rest)
+	default:
+		err = fmt.Errorf("unknown command %q", cmd)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func list(args []string) error {
+	if len(args) != 0 {
+		return fmt.Errorf("usage: qmdexp list")
+	}
+	for _, s := range expmatrix.Builtins() {
+		cells := len(expmatrix.ExpandGrid(s.Axes))
+		fmt.Printf("%-18s %2d cells  %s\n", s.Name, cells, s.Title)
+	}
+	return nil
+}
+
+// loadSpec resolves the argument to an experiment spec: a builtin name
+// or a path to a spec JSON file.
+func loadSpec(arg string) (*expmatrix.Spec, error) {
+	if s, ok := expmatrix.Builtin(arg); ok {
+		return &s, nil
+	}
+	raw, err := os.ReadFile(arg)
+	if err != nil {
+		if !strings.ContainsAny(arg, "./") {
+			return nil, fmt.Errorf("unknown experiment %q (and no such spec file); `qmdexp list` shows builtins", arg)
+		}
+		return nil, err
+	}
+	var s expmatrix.Spec
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("invalid experiment spec %s: %w", arg, err)
+	}
+	return &s, nil
+}
+
+func run(addr, data string, workers int, quiet bool, args []string, renderOnly bool) error {
+	verb := "run"
+	if renderOnly {
+		verb = "render"
+	}
+	if len(args) != 1 {
+		return fmt.Errorf("usage: qmdexp %s <experiment | spec.json>", verb)
+	}
+	spec, err := loadSpec(args[0])
+	if err != nil {
+		return err
+	}
+	store, err := expmatrix.OpenStore(data, spec.Name)
+	if err != nil {
+		return err
+	}
+	logf := log.Printf
+	if quiet {
+		logf = func(string, ...any) {}
+	}
+	runner := &expmatrix.Runner{Store: store, Logf: logf}
+
+	var rep *expmatrix.Report
+	if renderOnly {
+		rep, err = runner.Render(spec)
+	} else {
+		var shutdown func()
+		runner.Client, shutdown, err = openClient(addr, data, workers, logf)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		rep, err = runner.Run(ctx, spec)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Print(expmatrix.RenderMarkdown(rep))
+	fmt.Printf("\nreport: %s/report.{md,json}\n", store.Dir())
+	if !rep.Pass {
+		// The CI-gate contract: a failing matrix fails the command.
+		os.Exit(1)
+	}
+	return nil
+}
+
+// openClient builds the job client: HTTP against -addr, or an
+// in-process manager over the data dir.
+func openClient(addr, data string, workers int, logf func(string, ...any)) (expmatrix.JobClient, func(), error) {
+	if addr != "" {
+		return &expmatrix.HTTPClient{Base: strings.TrimRight(addr, "/")}, func() {}, nil
+	}
+	mgr, err := serve.NewManager(serve.Config{
+		DataDir:  data,
+		Workers:  workers,
+		QueueCap: 64,
+		Logf:     logf,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	shutdown := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		mgr.Shutdown(ctx)
+	}
+	return &expmatrix.LocalClient{M: mgr}, shutdown, nil
+}

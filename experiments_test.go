@@ -1,0 +1,49 @@
+package qmd
+
+import (
+	"math"
+	"testing"
+)
+
+// Fig9aArrhenius at a quick budget: the sweep must cover the paper's
+// three temperatures, produce finite non-negative rates and pH proxies,
+// and the fitted activation energy must be finite (zero is allowed —
+// a tiny budget may leave a cold cell with no H₂, degenerating the
+// fit, but it must never be NaN).
+func TestFig9aArrheniusQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reactive MD sweep is expensive")
+	}
+	res, err := Fig9aArrhenius(8, 600, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTemps := []float64{300, 600, 1500}
+	if len(res.TempsK) != 3 || len(res.Rates) != 3 ||
+		len(res.PHStart) != 3 || len(res.PHEnd) != 3 {
+		t.Fatalf("sweep shape: temps=%d rates=%d phStart=%d phEnd=%d",
+			len(res.TempsK), len(res.Rates), len(res.PHStart), len(res.PHEnd))
+	}
+	for i, tk := range res.TempsK {
+		if tk != wantTemps[i] {
+			t.Fatalf("temps %v, want %v", res.TempsK, wantTemps)
+		}
+		if r := res.Rates[i]; math.IsNaN(r) || r < 0 {
+			t.Fatalf("rate at %g K is %g", tk, r)
+		}
+		if math.IsNaN(res.PHStart[i]) || math.IsNaN(res.PHEnd[i]) {
+			t.Fatalf("pH proxy NaN at %g K", tk)
+		}
+	}
+	if math.IsNaN(res.EaEV) || math.IsInf(res.EaEV, 0) {
+		t.Fatalf("Ea = %g eV", res.EaEV)
+	}
+	if res.Prefactor < 0 || math.IsNaN(res.Prefactor) {
+		t.Fatalf("prefactor = %g", res.Prefactor)
+	}
+	// The hottest cell must out-produce the coldest: the qualitative
+	// Arrhenius ordering Fig. 9(a) rests on.
+	if res.Rates[2] < res.Rates[0] {
+		t.Fatalf("rate(1500 K) = %g < rate(300 K) = %g", res.Rates[2], res.Rates[0])
+	}
+}

@@ -1,0 +1,187 @@
+package expmatrix
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"ldcdft/internal/serve"
+)
+
+// JobClient is the harness's view of a qmdd daemon: submit, wait,
+// fetch results. Two implementations: HTTPClient against a running
+// daemon (standalone or coordinator — the public API is identical) and
+// LocalClient over an in-process serve.Manager.
+type JobClient interface {
+	// Submit admits one job and returns its ID. Implementations retry
+	// admission-control rejections (full queue) with backoff until ctx
+	// ends — an experiment grid routinely exceeds the queue capacity.
+	Submit(ctx context.Context, spec serve.JobSpec) (string, error)
+	// Wait blocks until the job is terminal and returns its state.
+	Wait(ctx context.Context, id string) (*serve.JobState, error)
+	// Results fetches a completed job's final observable record.
+	Results(id string) (*serve.Results, error)
+}
+
+// submitBackoff paces admission retries after queue-full rejections.
+const submitBackoff = 100 * time.Millisecond
+
+// LocalClient runs jobs on an in-process manager — the no-daemon mode
+// of cmd/qmdexp and the harness tests.
+type LocalClient struct {
+	M *serve.Manager
+	// Poll overrides the terminal-state polling cadence (0 = 25ms).
+	Poll time.Duration
+}
+
+func (c *LocalClient) Submit(ctx context.Context, spec serve.JobSpec) (string, error) {
+	for {
+		st, err := c.M.Submit(spec)
+		if err == nil {
+			return st.ID, nil
+		}
+		if !errors.Is(err, serve.ErrQueueFull) {
+			return "", err
+		}
+		select {
+		case <-ctx.Done():
+			return "", context.Cause(ctx)
+		case <-time.After(submitBackoff):
+		}
+	}
+}
+
+func (c *LocalClient) Wait(ctx context.Context, id string) (*serve.JobState, error) {
+	poll := c.Poll
+	if poll == 0 {
+		poll = 25 * time.Millisecond
+	}
+	for {
+		st, err := c.M.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		if st.Status.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, context.Cause(ctx)
+		case <-time.After(poll):
+		}
+	}
+}
+
+func (c *LocalClient) Results(id string) (*serve.Results, error) {
+	return c.M.Results(id)
+}
+
+// HTTPClient speaks the qmdd HTTP API.
+type HTTPClient struct {
+	Base string // daemon base URL, e.g. http://127.0.0.1:8432
+	// Poll overrides the status polling cadence (0 = 250ms).
+	Poll time.Duration
+}
+
+func (c *HTTPClient) Submit(ctx context.Context, spec serve.JobSpec) (string, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return "", err
+	}
+	for {
+		resp, err := http.Post(c.Base+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return "", err
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusCreated:
+			var st serve.JobState
+			if err := json.Unmarshal(raw, &st); err != nil {
+				return "", err
+			}
+			return st.ID, nil
+		case http.StatusTooManyRequests:
+			// Queue full: back off and resubmit.
+			select {
+			case <-ctx.Done():
+				return "", context.Cause(ctx)
+			case <-time.After(submitBackoff):
+			}
+		default:
+			return "", apiErr("submit", resp.StatusCode, raw)
+		}
+	}
+}
+
+func (c *HTTPClient) Wait(ctx context.Context, id string) (*serve.JobState, error) {
+	poll := c.Poll
+	if poll == 0 {
+		poll = 250 * time.Millisecond
+	}
+	for {
+		st, err := c.get(id)
+		if err != nil {
+			return nil, err
+		}
+		if st.Status.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, context.Cause(ctx)
+		case <-time.After(poll):
+		}
+	}
+}
+
+func (c *HTTPClient) get(id string) (*serve.JobState, error) {
+	resp, err := http.Get(c.Base + "/v1/jobs/" + id)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiErr("status", resp.StatusCode, raw)
+	}
+	var st serve.JobState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+func (c *HTTPClient) Results(id string) (*serve.Results, error) {
+	resp, err := http.Get(c.Base + "/v1/jobs/" + id + "/results")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiErr("results", resp.StatusCode, raw)
+	}
+	var res serve.Results
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// apiErr surfaces the daemon's JSON error envelope.
+func apiErr(op string, code int, raw []byte) error {
+	var ae struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &ae) == nil && ae.Error != "" {
+		return fmt.Errorf("expmatrix: %s: HTTP %d: %s", op, code, ae.Error)
+	}
+	return fmt.Errorf("expmatrix: %s: HTTP %d: %s", op, code, bytes.TrimSpace(raw))
+}

@@ -1,0 +1,230 @@
+package expmatrix
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"ldcdft/internal/serve"
+)
+
+// CellReport is one row of the rendered matrix.
+type CellReport struct {
+	Key    string             `json:"key"`
+	Values Cell               `json:"values"`
+	JobID  string             `json:"job_id,omitempty"`
+	Status string             `json:"status"` // "completed" | "failed" | "skipped-cached"→"completed"
+	Error  string             `json:"error,omitempty"`
+	Cached bool               `json:"cached,omitempty"` // restored from the store, not run this campaign
+	Checks []ValidationResult `json:"checks,omitempty"`
+	Pass   bool               `json:"pass"`
+}
+
+// Report is an experiment's evaluated matrix — the body of report.json
+// and the source of the rendered markdown.
+type Report struct {
+	Experiment string       `json:"experiment"`
+	Title      string       `json:"title,omitempty"`
+	Scenario   string       `json:"scenario"`
+	Axes       []Axis       `json:"axes"`
+	Cells      []CellReport `json:"cells"`
+	// Matrix holds the cross-cell checks (Arrhenius fit, buffer scan).
+	Matrix []ValidationResult `json:"matrix,omitempty"`
+
+	Ran     int  `json:"ran"`    // cells executed this campaign
+	Cached  int  `json:"cached"` // cells restored from the store
+	Failed  int  `json:"failed"` // cells whose job failed
+	Pass    bool `json:"pass"`   // every cell completed and every check passed
+	Elapsed int  `json:"elapsed_ms,omitempty"`
+}
+
+// Runner executes experiments: expand the grid, skip cells the store
+// already holds, submit the rest as a qmdd job array, collect results,
+// evaluate the validators, and persist the report.
+type Runner struct {
+	Client JobClient
+	Store  *Store
+	// Logf, when non-nil, receives campaign progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Logf != nil {
+		r.Logf(format, args...)
+	}
+}
+
+// Run executes one experiment campaign to a Report. Completed cells
+// found in the store are reused (Cached); the remainder run as a job
+// array — all submissions first (admission-control rejections retried
+// with backoff), then collection in submission order. A failed or
+// cancelled job marks its cell failed but does not abort the campaign:
+// the report carries the partial matrix and rerunning retries exactly
+// the unfinished cells.
+func (r *Runner) Run(ctx context.Context, spec *Spec) (*Report, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	gen := scenarios[spec.Scenario]
+	cells := ExpandGrid(spec.Axes)
+	rep := &Report{
+		Experiment: spec.Name,
+		Title:      spec.Title,
+		Scenario:   spec.Scenario,
+		Axes:       spec.Axes,
+		Cells:      make([]CellReport, len(cells)),
+	}
+	start := time.Now()
+
+	// Phase 1: reuse completed cells, submit the rest as a job array.
+	type pending struct {
+		idx   int
+		jobID string
+	}
+	var queue []pending
+	records := make([]*CellRecord, len(cells))
+	for i, cell := range cells {
+		key := CellKey(spec.Axes, cell)
+		rep.Cells[i] = CellReport{Key: key, Values: cell}
+		rec, err := r.Store.GetCell(key)
+		if err != nil {
+			return nil, err
+		}
+		if rec != nil && rec.Results != nil {
+			records[i] = rec
+			rep.Cells[i].Status = string(serve.StatusCompleted)
+			rep.Cells[i].JobID = rec.JobID
+			rep.Cells[i].Cached = true
+			rep.Cached++
+			continue
+		}
+		js, err := gen(spec.Base, cell)
+		if err != nil {
+			return nil, fmt.Errorf("expmatrix: cell %s: %w", key, err)
+		}
+		js.Name = spec.Name + "/" + key
+		id, err := r.Client.Submit(ctx, js)
+		if err != nil {
+			return nil, fmt.Errorf("expmatrix: submit cell %s: %w", key, err)
+		}
+		rep.Cells[i].JobID = id
+		queue = append(queue, pending{idx: i, jobID: id})
+		r.logf("expmatrix: %s: cell %s submitted as %s", spec.Name, key, id)
+	}
+	if rep.Cached > 0 {
+		r.logf("expmatrix: %s: %d/%d cells already complete in store", spec.Name, rep.Cached, len(cells))
+	}
+
+	// Phase 2: collect in submission order.
+	for _, p := range queue {
+		cr := &rep.Cells[p.idx]
+		st, err := r.Client.Wait(ctx, p.jobID)
+		if err != nil {
+			return nil, fmt.Errorf("expmatrix: wait for cell %s: %w", cr.Key, err)
+		}
+		cr.Status = string(st.Status)
+		if st.Status != serve.StatusCompleted {
+			cr.Error = st.Error
+			rep.Failed++
+			r.logf("expmatrix: %s: cell %s %s: %s", spec.Name, cr.Key, st.Status, st.Error)
+			continue
+		}
+		res, err := r.Client.Results(p.jobID)
+		if err != nil {
+			return nil, fmt.Errorf("expmatrix: results for cell %s: %w", cr.Key, err)
+		}
+		rec := &CellRecord{
+			Key:         cr.Key,
+			Values:      cells[p.idx],
+			JobID:       p.jobID,
+			Results:     res,
+			CompletedAt: time.Now().UTC(),
+		}
+		if err := r.Store.PutCell(rec); err != nil {
+			return nil, err
+		}
+		records[p.idx] = rec
+		rep.Ran++
+		r.logf("expmatrix: %s: cell %s completed (%d steps)", spec.Name, cr.Key, res.Steps)
+	}
+
+	// Phase 3: evaluate. Cell checks per completed cell, matrix checks
+	// across the grid.
+	evaluate(spec, cells, records, rep)
+	rep.Elapsed = int(time.Since(start).Milliseconds())
+	if err := r.Store.WriteReport(rep); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// Render re-evaluates the experiment from the store alone — no jobs
+// run. Cells without a stored record are reported as missing (and fail
+// the matrix); Run is the way to fill them.
+func (r *Runner) Render(spec *Spec) (*Report, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	cells := ExpandGrid(spec.Axes)
+	rep := &Report{
+		Experiment: spec.Name,
+		Title:      spec.Title,
+		Scenario:   spec.Scenario,
+		Axes:       spec.Axes,
+		Cells:      make([]CellReport, len(cells)),
+	}
+	records := make([]*CellRecord, len(cells))
+	for i, cell := range cells {
+		key := CellKey(spec.Axes, cell)
+		rep.Cells[i] = CellReport{Key: key, Values: cell, Status: "missing"}
+		rec, err := r.Store.GetCell(key)
+		if err != nil {
+			return nil, err
+		}
+		if rec != nil && rec.Results != nil {
+			records[i] = rec
+			rep.Cells[i].Status = string(serve.StatusCompleted)
+			rep.Cells[i].JobID = rec.JobID
+			rep.Cells[i].Cached = true
+			rep.Cached++
+		} else {
+			rep.Failed++
+		}
+	}
+	evaluate(spec, cells, records, rep)
+	if err := r.Store.WriteReport(rep); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// evaluate fills in the checks and the verdict from the cell records.
+func evaluate(spec *Spec, cells []Cell, records []*CellRecord, rep *Report) {
+	rep.Pass = rep.Failed == 0
+	results := make([]*serve.Results, len(cells))
+	for i, rec := range records {
+		if rec == nil {
+			rep.Pass = false
+			continue
+		}
+		results[i] = rec.Results
+		for _, v := range spec.Validators {
+			check := v.Evaluate(cells[i], rec.Results)
+			rep.Cells[i].Checks = append(rep.Cells[i].Checks, check)
+		}
+		rep.Cells[i].Pass = true
+		for _, c := range rep.Cells[i].Checks {
+			if !c.Pass {
+				rep.Cells[i].Pass = false
+				rep.Pass = false
+			}
+		}
+	}
+	for _, v := range spec.MatrixValidators {
+		check := v.EvaluateMatrix(cells, results)
+		rep.Matrix = append(rep.Matrix, check)
+		if !check.Pass {
+			rep.Pass = false
+		}
+	}
+}

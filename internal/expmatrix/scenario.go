@@ -1,0 +1,106 @@
+package expmatrix
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ldcdft/internal/atoms"
+	"ldcdft/internal/serve"
+)
+
+// A Scenario turns one grid cell into a runnable job spec. Generators
+// must be deterministic in (base, cell): resubmitting a cell after a
+// crash reproduces the same system, so results are comparable across
+// campaign restarts.
+type Scenario func(base Base, cell Cell) (serve.JobSpec, error)
+
+// scenarios is the generator registry, keyed by Spec.Scenario.
+var scenarios = map[string]Scenario{
+	"lial-water": lialWaterScenario,
+	"ldc-h2":     ldcH2Scenario,
+}
+
+// ScenarioNames lists the registered scenario generators.
+func ScenarioNames() []string {
+	return []string{"lial-water", "ldc-h2"}
+}
+
+// lialWaterScenario builds the hydrogen-on-demand workload of §6: a
+// LinAln nanoparticle in water run under the reactive surrogate-field
+// engine. Cell axes: "temp_k" (thermostat target), "pairs" (n in
+// LinAln). The builder RNG is seeded from base.Seed plus the pair
+// count, so cells of equal size share the same starting structure
+// across temperatures — the Fig. 9(a) setup.
+func lialWaterScenario(base Base, cell Cell) (serve.JobSpec, error) {
+	pairs := int(cell.Get("pairs", float64(base.PairCount)))
+	if pairs <= 0 {
+		return serve.JobSpec{}, fmt.Errorf("expmatrix: lial-water needs a positive pair count (axis %q or base.pair_count)", "pairs")
+	}
+	tempK := cell.Get("temp_k", base.TempK)
+	if tempK <= 0 {
+		return serve.JobSpec{}, fmt.Errorf("expmatrix: lial-water needs a positive temperature (axis %q or base.temp_k)", "temp_k")
+	}
+	rng := rand.New(rand.NewSource(base.Seed + int64(pairs)))
+	sys, err := atoms.BuildLiAlInWater(atoms.LiAlParticleSpec{PairCount: pairs}, rng)
+	if err != nil {
+		return serve.JobSpec{}, err
+	}
+	snap := serve.SnapshotSystem(sys)
+	return serve.JobSpec{
+		Engine: serve.EngineReactive,
+		CellL:  snap.CellL,
+		Atoms:  snap.Atoms,
+		Reactive: &serve.ReactiveSpec{
+			TempK:           tempK,
+			SampleEvery:     base.SampleEvery,
+			ThermostatTauFs: base.ThermostatTauFs,
+			Seed:            base.Seed,
+		},
+		Steps:           base.Steps,
+		DtFs:            base.DtFs,
+		CheckpointEvery: base.CheckpointEvery,
+	}, nil
+}
+
+// ldcH2Scenario builds a small H₂-in-a-box LDC-DFT job — the cheap,
+// fully converged workload of the buffer-size error scan (the Fig. 7
+// study's mechanism at smoke scale). Cell axes: "buf_n" (LDC buffer
+// layer count), "domains" (domains per axis).
+func ldcH2Scenario(base Base, cell Cell) (serve.JobSpec, error) {
+	gridN := base.GridN
+	if gridN == 0 {
+		gridN = 12
+	}
+	domains := int(cell.Get("domains", float64(base.DomainsPerAxis)))
+	if domains == 0 {
+		domains = 1
+	}
+	ecut := base.Ecut
+	if ecut == 0 {
+		ecut = 4
+	}
+	return serve.JobSpec{
+		CellL: 8,
+		Atoms: []serve.AtomSpec{
+			{Species: "H", Position: [3]float64{3.3, 4, 4}},
+			{Species: "H", Position: [3]float64{4.7, 4, 4}},
+		},
+		Config: serve.ConfigSpec{
+			GridN:          gridN,
+			DomainsPerAxis: domains,
+			BufN:           int(cell.Get("buf_n", float64(base.BufN))),
+			Ecut:           ecut,
+			KT:             0.05,
+			MixAlpha:       0.3,
+			Anderson:       true,
+			MaxSCF:         80,
+			EigenIters:     4,
+			EnergyTol:      1e-7,
+			DensityTol:     1e-6,
+			Seed:           base.Seed,
+		},
+		Steps:           base.Steps,
+		DtFs:            base.DtFs,
+		CheckpointEvery: base.CheckpointEvery,
+	}, nil
+}

@@ -10,15 +10,17 @@ import (
 // Census is a topological species count over a configuration, built from
 // a distance-cutoff bond graph — the analysis the paper runs on its QMD
 // trajectories to count produced H₂ and track the solution pH (§6).
+// The JSON names are the wire format of the serving layer's job
+// results (serve.Results) and the experiment harness's cell records.
 type Census struct {
-	H2           int // H–H pairs detached from oxygen and metal
-	Water        int // O with exactly 2 H
-	Hydroxide    int // O with exactly 1 H (OH⁻: raises pH)
-	Hydronium    int // O with 3 H (H₃O⁺)
-	MetalH       int // H bound to metal only (hydride intermediates)
-	FreeH        int // H with no bonds
-	DissolvedLi  int // Li with no metal neighbours (dissolved into water)
-	SurfaceMetal int // metal atoms with under-coordinated metal shells
+	H2           int `json:"h2"`            // H–H pairs detached from oxygen and metal
+	Water        int `json:"water"`         // O with exactly 2 H
+	Hydroxide    int `json:"hydroxide"`     // O with exactly 1 H (OH⁻: raises pH)
+	Hydronium    int `json:"hydronium"`     // O with 3 H (H₃O⁺)
+	MetalH       int `json:"metal_h"`       // H bound to metal only (hydride intermediates)
+	FreeH        int `json:"free_h"`        // H with no bonds
+	DissolvedLi  int `json:"dissolved_li"`  // Li with no metal neighbours (dissolved into water)
+	SurfaceMetal int `json:"surface_metal"` // metal atoms with under-coordinated metal shells
 }
 
 // bond cutoffs (Bohr).

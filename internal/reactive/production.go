@@ -31,6 +31,13 @@ type ProductionResult struct {
 	SurfaceAtoms int // N_surf at the start of the run
 	PairCount    int // n in LinAln
 
+	// EnergiesHa and TemperaturesK record every completed MD step —
+	// including the checkpoint-restored prefix on resumed runs — the
+	// same per-step trajectory record the QMD driver keeps. Index i is
+	// step i+1.
+	EnergiesHa    []float64
+	TemperaturesK []float64
+
 	// RatePerPairPerSec is the H₂ production rate per LiAl pair
 	// (Fig. 9a reports 1.04e9 s⁻¹ per pair at 300 K).
 	RatePerPairPerSec float64
@@ -64,6 +71,12 @@ type ProductionConfig struct {
 	// (when CheckpointPath is set), then returns the partial result with
 	// an error wrapping the context's cancellation cause.
 	Ctx context.Context
+
+	// OnStep, when non-nil, observes every completed MD step with the
+	// absolute step index (counting resumed-over steps), the potential
+	// energy (Hartree) and the instantaneous temperature (K) — the hook
+	// the serving layer uses for progress reporting.
+	OnStep func(step int, energyHa, tempK float64)
 }
 
 // RunProduction equilibrates velocities at TempK and integrates the
@@ -104,6 +117,18 @@ func RunProduction(sys *atoms.System, cfg ProductionConfig) (*ProductionResult, 
 	}
 	start := TakeCensus(sys)
 	res.Samples = append(res.Samples, ProductionSample{Step: startStep, Census: start, TempK: sys.Temperature()})
+	if cfg.Resume != nil {
+		// Carry the restored per-step record forward, truncated to the
+		// restored step count (the record grows one entry per step).
+		prefix := len(cfg.Resume.Energies)
+		if prefix > startStep {
+			prefix = startStep
+		}
+		res.EnergiesHa = append(res.EnergiesHa, cfg.Resume.Energies[:prefix]...)
+		if len(cfg.Resume.Temperatures) >= prefix {
+			res.TemperaturesK = append(res.TemperaturesK, cfg.Resume.Temperatures[:prefix]...)
+		}
+	}
 	dtFs := in.DtAU * units.FsPerAtomicTime
 	ctx := cfg.Ctx
 	if ctx == nil {
@@ -118,6 +143,8 @@ func RunProduction(sys *atoms.System, cfg ProductionConfig) (*ProductionResult, 
 		ck.DtFs = dtFs
 		ck.Energy = in.PotentialEnergy()
 		ck.Force = append([]geom.Vec3(nil), in.Forces()...)
+		ck.Energies = append([]float64(nil), res.EnergiesHa...)
+		ck.Temperatures = append([]float64(nil), res.TemperaturesK...)
 		_, err = qio.WriteCheckpoint(cfg.CheckpointPath, ck, qio.CheckpointWriteOptions{
 			GroupSize: cfg.CheckpointGroupSize,
 		})
@@ -128,6 +155,11 @@ func RunProduction(sys *atoms.System, cfg ProductionConfig) (*ProductionResult, 
 	err := in.Run(sys, cfg.Steps-startStep, func(step int) error {
 		abs := startStep + step + 1
 		lastStep = abs
+		res.EnergiesHa = append(res.EnergiesHa, in.PotentialEnergy())
+		res.TemperaturesK = append(res.TemperaturesK, sys.Temperature())
+		if cfg.OnStep != nil {
+			cfg.OnStep(abs, in.PotentialEnergy(), sys.Temperature())
+		}
 		if abs%cfg.SampleEvery == 0 {
 			res.Samples = append(res.Samples, ProductionSample{
 				Step:   abs,

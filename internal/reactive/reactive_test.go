@@ -241,6 +241,38 @@ func TestArrheniusFitRecoversKnownEa(t *testing.T) {
 	}
 }
 
+func TestArrheniusFitDegenerateInputs(t *testing.T) {
+	// Zero and negative rates carry no ln(rate): with fewer than two
+	// valid samples the fit must report (0, 0), not NaN or a bogus slope.
+	cases := []struct {
+		name  string
+		temps []float64
+		rates []float64
+	}{
+		{"empty", nil, nil},
+		{"all-zero-rates", []float64{300, 600, 1500}, []float64{0, 0, 0}},
+		{"negative-rates", []float64{300, 600}, []float64{-1, -2}},
+		{"one-valid-rate", []float64{300, 600, 1500}, []float64{0, 0, 4e11}},
+		{"non-positive-temps", []float64{0, -300}, []float64{1e11, 2e11}},
+	}
+	for _, tc := range cases {
+		ea, a := ArrheniusFit(tc.temps, tc.rates)
+		if ea != 0 || a != 0 {
+			t.Errorf("%s: ArrheniusFit = (%g, %g), want (0, 0)", tc.name, ea, a)
+		}
+	}
+	// Invalid samples must be skipped, not poison the remaining fit.
+	ea := units.EVToHartree(0.05)
+	valid := func(tk float64) float64 { return 1e12 * math.Exp(-ea/units.KelvinToHartree(tk)) }
+	gotEa, _ := ArrheniusFit(
+		[]float64{300, -1, 600, 1500},
+		[]float64{valid(300), 1e12, valid(600), valid(1500)},
+	)
+	if math.Abs(gotEa-ea) > 1e-9 {
+		t.Fatalf("fit over mixed samples: Ea = %g Ha, want %g", gotEa, ea)
+	}
+}
+
 func TestProductionRunProducesHydrogenAtHighT(t *testing.T) {
 	if testing.Short() {
 		t.Skip("production MD is expensive")

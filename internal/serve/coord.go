@@ -264,6 +264,7 @@ func (m *Manager) CompleteLease(id string, req CompleteRequest) (*JobState, erro
 	case "completed":
 		j.state.Status = StatusCompleted
 		m.completed++
+		m.persistResults(j, req.Report.Results)
 	case "failed":
 		j.state.Status = StatusFailed
 		j.state.Error = req.Error
@@ -286,7 +287,9 @@ func (m *Manager) CompleteLease(id string, req CompleteRequest) (*JobState, erro
 	m.cfg.Logf("serve: job %s %s after %d steps (worker %s)",
 		j.id, j.state.Status, j.state.StepsDone, j.state.Worker)
 	m.finishBroadcast(j)
-	return j.state.clone(), nil
+	st := j.state.clone()
+	m.maybePruneLocked()
+	return st, nil
 }
 
 // leaseErrIsFencing reports whether err is one of the 409-mapped lease

@@ -14,6 +14,7 @@ import (
 //	GET    /v1/jobs/{id}        job status        → 200 JobState
 //	DELETE /v1/jobs/{id}        cancel            → 202 JobState
 //	GET    /v1/jobs/{id}/events live SSE stream (status/step/done)
+//	GET    /v1/jobs/{id}/results  final observable record → 200 Results
 //	GET    /healthz             liveness          → 200 "ok"
 //	GET    /metrics             Prometheus text (scheduler + perf registry)
 //
@@ -26,6 +27,7 @@ func (m *Manager) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", m.handleGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", m.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", m.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/results", m.handleResults)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -67,6 +69,8 @@ func errorCode(err error) int {
 	case errors.Is(err, ErrNotFound):
 		return http.StatusNotFound
 	case errors.Is(err, ErrNoCheckpoint):
+		return http.StatusNotFound
+	case errors.Is(err, ErrNoResults):
 		return http.StatusNotFound
 	case errors.Is(err, ErrAlreadyFinished):
 		return http.StatusConflict
@@ -111,6 +115,15 @@ func (m *Manager) handleGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+func (m *Manager) handleResults(w http.ResponseWriter, r *http.Request) {
+	res, err := m.Results(r.PathValue("id"))
+	if err != nil {
+		writeError(w, errorCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 func (m *Manager) handleCancel(w http.ResponseWriter, r *http.Request) {

@@ -65,6 +65,30 @@ func (c ConfigSpec) LDC() qmd.LDCConfig {
 	}
 }
 
+// Engine names of JobSpec.Engine.
+const (
+	// EngineLDC is the LDC-DFT QMD engine (the default).
+	EngineLDC = "ldc"
+	// EngineReactive is the reactive surrogate-field MD engine — the
+	// hydrogen-on-demand production workload (§6) and the job type the
+	// experiment harness (internal/expmatrix) submits in bulk.
+	EngineReactive = "reactive"
+)
+
+// ReactiveSpec configures a reactive-engine job (Engine ==
+// EngineReactive). The LDC ConfigSpec is ignored for these jobs.
+type ReactiveSpec struct {
+	// TempK is the thermostat target temperature (required, > 0).
+	TempK float64 `json:"temp_k"`
+	// SampleEvery is the census sampling stride in MD steps (0 = the
+	// reactive default, 50).
+	SampleEvery int `json:"sample_every,omitempty"`
+	// ThermostatTauFs is the Berendsen coupling time (0 = default 24 fs).
+	ThermostatTauFs float64 `json:"thermostat_tau_fs,omitempty"`
+	// Seed seeds velocity initialization for fresh trajectories.
+	Seed int64 `json:"seed,omitempty"`
+}
+
 // JobSpec is a submitted QMD job: the atomic system, the physics
 // configuration, and the trajectory length. It is persisted verbatim as
 // spec.json and is immutable after admission.
@@ -75,10 +99,16 @@ type JobSpec struct {
 	// priority level.
 	Priority int `json:"priority,omitempty"`
 
+	// Engine selects the trajectory driver: "" or "ldc" runs the
+	// LDC-DFT QMD engine over Config; "reactive" runs the reactive
+	// surrogate-field MD over Reactive.
+	Engine string `json:"engine,omitempty"`
+
 	CellL float64    `json:"cell_l"`
 	Atoms []AtomSpec `json:"atoms"`
 
-	Config ConfigSpec `json:"config"`
+	Config   ConfigSpec    `json:"config,omitzero"`
+	Reactive *ReactiveSpec `json:"reactive,omitempty"`
 
 	Steps int     `json:"steps"`
 	DtFs  float64 `json:"dt_fs,omitempty"` // 0 = paper default (0.242 fs)
@@ -86,6 +116,14 @@ type JobSpec struct {
 	// CheckpointEvery is the checkpoint cadence in MD steps (0 = every
 	// step — the durable default that makes daemon restarts cheap).
 	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+}
+
+// EngineKind resolves the engine name, defaulting to EngineLDC.
+func (s *JobSpec) EngineKind() string {
+	if s.Engine == "" {
+		return EngineLDC
+	}
+	return s.Engine
 }
 
 // Validate rejects specs the engine cannot run, with messages meant for
@@ -98,16 +136,34 @@ func (s *JobSpec) Validate() error {
 		return fmt.Errorf("cell_l must be positive, got %g", s.CellL)
 	case len(s.Atoms) == 0:
 		return fmt.Errorf("at least one atom is required")
-	case s.Config.GridN <= 0:
-		return fmt.Errorf("config.grid_n must be positive, got %d", s.Config.GridN)
-	case s.Config.DomainsPerAxis <= 0:
-		return fmt.Errorf("config.domains_per_axis must be positive, got %d", s.Config.DomainsPerAxis)
-	case s.Config.Ecut <= 0:
-		return fmt.Errorf("config.ecut must be positive, got %g", s.Config.Ecut)
 	case s.DtFs < 0:
 		return fmt.Errorf("dt_fs must be non-negative, got %g", s.DtFs)
 	case s.CheckpointEvery < 0:
 		return fmt.Errorf("checkpoint_every must be non-negative, got %d", s.CheckpointEvery)
+	}
+	switch s.EngineKind() {
+	case EngineLDC:
+		switch {
+		case s.Config.GridN <= 0:
+			return fmt.Errorf("config.grid_n must be positive, got %d", s.Config.GridN)
+		case s.Config.DomainsPerAxis <= 0:
+			return fmt.Errorf("config.domains_per_axis must be positive, got %d", s.Config.DomainsPerAxis)
+		case s.Config.Ecut <= 0:
+			return fmt.Errorf("config.ecut must be positive, got %g", s.Config.Ecut)
+		}
+	case EngineReactive:
+		switch {
+		case s.Reactive == nil:
+			return fmt.Errorf("reactive engine requires a reactive section")
+		case s.Reactive.TempK <= 0:
+			return fmt.Errorf("reactive.temp_k must be positive, got %g", s.Reactive.TempK)
+		case s.Reactive.SampleEvery < 0:
+			return fmt.Errorf("reactive.sample_every must be non-negative, got %d", s.Reactive.SampleEvery)
+		case s.Reactive.ThermostatTauFs < 0:
+			return fmt.Errorf("reactive.thermostat_tau_fs must be non-negative, got %g", s.Reactive.ThermostatTauFs)
+		}
+	default:
+		return fmt.Errorf("unknown engine %q (want %q or %q)", s.Engine, EngineLDC, EngineReactive)
 	}
 	for i, a := range s.Atoms {
 		if atoms.SpeciesBySymbol(a.Species) == nil {
@@ -117,17 +173,23 @@ func (s *JobSpec) Validate() error {
 	return nil
 }
 
-// EstimatedCost models the job's remaining work in arbitrary units:
-// remaining MD steps × real-space grid points (GridN³), the dominant
-// SCF/FFT cost driver at fixed tolerances. The coordinator's lease pick
-// uses it to hand out the largest remaining tasks first within a
-// priority level, and re-estimates on requeue so a mostly-finished
-// trajectory (stepsDone close to Steps) no longer outranks fresh large
-// jobs.
+// EstimatedCost models the job's remaining work in arbitrary units.
+// For LDC jobs it is remaining MD steps × real-space grid points
+// (GridN³), the dominant SCF/FFT cost driver at fixed tolerances; for
+// reactive jobs it is remaining steps × atom count, the pair-field cost
+// driver (a reactive step is orders of magnitude cheaper than an SCF
+// step, so within a mixed queue reactive jobs naturally sort behind
+// LDC jobs of comparable length). The coordinator's lease pick uses it
+// to hand out the largest remaining tasks first within a priority
+// level, and re-estimates on requeue so a mostly-finished trajectory
+// (stepsDone close to Steps) no longer outranks fresh large jobs.
 func (s *JobSpec) EstimatedCost(stepsDone int) float64 {
 	remaining := s.Steps - stepsDone
 	if remaining < 1 {
 		remaining = 1 // a final checkpoint still has to be turned into a result
+	}
+	if s.EngineKind() == EngineReactive {
+		return float64(remaining) * float64(len(s.Atoms))
 	}
 	n := float64(s.Config.GridN)
 	return float64(remaining) * n * n * n

@@ -57,6 +57,14 @@ type Config struct {
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 
+	// RetainAge, when positive, prunes terminal jobs whose FinishedAt
+	// is older than this from the store (directory removed, ID
+	// forgotten). See gc.go.
+	RetainAge time.Duration
+	// RetainMaxJobs, when positive, bounds the number of terminal jobs
+	// kept in the store; the oldest-finished are pruned first.
+	RetainMaxJobs int
+
 	// Distributed switches the manager into coordinator mode: no local
 	// worker pool runs; instead remote worker nodes lease jobs over the
 	// HTTP lease API (POST /v1/lease and friends, see Handler), renew
@@ -117,6 +125,7 @@ type Manager struct {
 	failed    int64
 	cancelled int64
 	rejected  int64
+	pruned    int64
 
 	leasesGranted int64
 	leasesExpired int64
@@ -226,6 +235,9 @@ func (m *Manager) recover() error {
 			m.queue.push(j)
 		}
 	}
+	// Enforce retention over the recovered history before serving: a
+	// daemon restarted with tighter bounds trims the store immediately.
+	m.maybePruneLocked()
 	return nil
 }
 
@@ -326,6 +338,7 @@ func (m *Manager) Cancel(id string) (*JobState, error) {
 			return nil, err
 		}
 		m.finishBroadcast(j)
+		defer m.maybePruneLocked()
 	case m.leases != nil && j.state.Status == StatusRunning:
 		// Leased to a remote worker: terminal immediately — the worker
 		// discovers the loss on its next renew (409) and abandons the
@@ -341,6 +354,7 @@ func (m *Manager) Cancel(id string) (*JobState, error) {
 			return nil, err
 		}
 		m.finishBroadcast(j)
+		defer m.maybePruneLocked()
 	case j.state.Status == StatusRunning && j.cancel != nil:
 		j.cancel(ErrCancelledByClient)
 	default:
@@ -485,6 +499,7 @@ func (m *Manager) finish(j *job, ctx context.Context, rep RunReport, err error) 
 	case err == nil:
 		j.state.Status = StatusCompleted
 		m.completed++
+		m.persistResults(j, rep.Results)
 	case errors.Is(err, ErrCancelledByClient) || errors.Is(cause, ErrCancelledByClient):
 		j.state.Status = StatusCancelled
 		j.state.Error = ErrCancelledByClient.Error()
@@ -510,6 +525,7 @@ func (m *Manager) finish(j *job, ctx context.Context, rep RunReport, err error) 
 	}
 	m.cfg.Logf("serve: job %s %s after %d steps", j.id, j.state.Status, j.state.StepsDone)
 	m.finishBroadcast(j)
+	m.maybePruneLocked()
 }
 
 // persistState writes state.json crash-safely. Callers hold the lock.
@@ -580,6 +596,7 @@ type Counters struct {
 	Failed     int64
 	Cancelled  int64
 	Rejected   int64
+	Pruned     int64
 
 	// Lease counters; all zero in standalone mode.
 	LeasesActive  int
@@ -600,6 +617,7 @@ func (m *Manager) Stats() Counters {
 		Failed:     m.failed,
 		Cancelled:  m.cancelled,
 		Rejected:   m.rejected,
+		Pruned:     m.pruned,
 
 		LeasesGranted: m.leasesGranted,
 		LeasesExpired: m.leasesExpired,

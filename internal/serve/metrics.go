@@ -26,6 +26,7 @@ func (m *Manager) WriteMetrics(w io.Writer) error {
 		{"qmdd_jobs_failed_total", "Jobs finished with an error.", "counter", float64(c.Failed)},
 		{"qmdd_jobs_cancelled_total", "Jobs cancelled by clients.", "counter", float64(c.Cancelled)},
 		{"qmdd_jobs_rejected_total", "Submissions rejected by admission control (429).", "counter", float64(c.Rejected)},
+		{"qmdd_jobs_pruned_total", "Terminal jobs removed from the store by retention bounds.", "counter", float64(c.Pruned)},
 	}
 	if m.leases != nil {
 		rows = append(rows, []struct {

@@ -6,17 +6,25 @@ import (
 
 	qmd "ldcdft"
 	"ldcdft/internal/cache"
+	"ldcdft/internal/qio"
+	"ldcdft/internal/reactive"
 )
 
 // RunReport is what a Runner hands back for a finished (or interrupted)
 // trajectory: the accumulated per-step record, including steps restored
-// from a checkpoint on resume. It is also the wire payload of a worker
-// node's completion call, hence the JSON tags.
+// from a checkpoint on resume, plus — for completed runs — the durable
+// Results payload. It is also the wire payload of a worker node's
+// completion call, hence the JSON tags.
 type RunReport struct {
 	Steps         int       `json:"steps"`
 	SCFIterations int       `json:"scf_iterations,omitempty"`
 	EnergiesHa    []float64 `json:"energies_ha,omitempty"`
 	TemperaturesK []float64 `json:"temperatures_k,omitempty"`
+
+	// Results carries the terminal observable record of a completed
+	// run; nil for interrupted or failed trajectories. The manager
+	// persists it as results.json next to the job state.
+	Results *Results `json:"results,omitempty"`
 }
 
 // Runner executes one job trajectory. The manager depends only on this
@@ -32,16 +40,25 @@ type Runner interface {
 		onStep func(step int, energyHa, tempK float64)) (RunReport, error)
 }
 
-// QMDRunner runs jobs through the real LDC-DFT trajectory driver
-// (qmd.RunQMDOpts / qmd.ResumeQMD).
+// QMDRunner runs jobs through the real trajectory drivers: LDC-DFT QMD
+// (qmd.RunQMDOpts / qmd.ResumeQMD) for LDC jobs, the reactive
+// surrogate-field MD (reactive.RunProduction) for reactive jobs.
 type QMDRunner struct {
 	// Cache, when non-nil, is the shared SCF warm-start cache handed to
-	// every trajectory (see qmd.QMDOptions.Cache).
+	// every LDC trajectory (see qmd.QMDOptions.Cache).
 	Cache *cache.Cache
 }
 
 // Run implements Runner.
 func (r QMDRunner) Run(ctx context.Context, spec JobSpec, ckPath string,
+	onStep func(step int, energyHa, tempK float64)) (RunReport, error) {
+	if spec.EngineKind() == EngineReactive {
+		return r.runReactive(ctx, spec, ckPath, onStep)
+	}
+	return r.runLDC(ctx, spec, ckPath, onStep)
+}
+
+func (r QMDRunner) runLDC(ctx context.Context, spec JobSpec, ckPath string,
 	onStep func(step int, energyHa, tempK float64)) (RunReport, error) {
 	every := spec.CheckpointEvery
 	if every == 0 {
@@ -72,6 +89,93 @@ func (r QMDRunner) Run(ctx context.Context, spec JobSpec, ckPath string,
 			SCFIterations: res.SCFIterations,
 			EnergiesHa:    res.Energies,
 			TemperaturesK: res.Temperatures,
+		}
+		if err == nil {
+			rep.Results = &Results{
+				Engine:        EngineLDC,
+				Steps:         res.Steps,
+				SCFIterations: res.SCFIterations,
+				EnergiesHa:    boundedTail(res.Energies),
+				TemperaturesK: boundedTail(res.Temperatures),
+			}
+			if n := len(res.Energies); n > 0 {
+				rep.Results.FinalEnergyHa = res.Energies[n-1]
+			}
+			if res.FinalSystem != nil {
+				rep.Results.FinalSystem = SnapshotSystem(res.FinalSystem)
+			}
+		}
+	}
+	return rep, err
+}
+
+// runReactive executes a reactive-engine job through
+// reactive.RunProduction with the same checkpoint/resume discipline as
+// the LDC path: checkpoint at the spec'd cadence (default every step),
+// resume from ckPath when it exists, final checkpoint on cancellation.
+func (r QMDRunner) runReactive(ctx context.Context, spec JobSpec, ckPath string,
+	onStep func(step int, energyHa, tempK float64)) (RunReport, error) {
+	every := spec.CheckpointEvery
+	if every == 0 {
+		every = 1
+	}
+	cfg := reactive.ProductionConfig{
+		TempK:           spec.Reactive.TempK,
+		Steps:           spec.Steps,
+		SampleEvery:     spec.Reactive.SampleEvery,
+		DtFs:            spec.DtFs,
+		ThermostatTauFs: spec.Reactive.ThermostatTauFs,
+		Seed:            spec.Reactive.Seed,
+		CheckpointEvery: every,
+		CheckpointPath:  ckPath,
+		Ctx:             ctx,
+		OnStep:          onStep,
+	}
+	var sys *qmd.System
+	if _, statErr := os.Stat(ckPath); statErr == nil {
+		ck, err := qio.ReadCheckpoint(ckPath)
+		if err != nil {
+			return RunReport{}, err
+		}
+		if sys, err = ck.RestoreSystem(); err != nil {
+			return RunReport{}, err
+		}
+		cfg.Resume = ck
+	} else {
+		var err error
+		if sys, err = spec.BuildSystem(); err != nil {
+			return RunReport{}, err
+		}
+	}
+	res, err := reactive.RunProduction(sys, cfg)
+	rep := RunReport{}
+	if res != nil {
+		rep = RunReport{
+			Steps:         len(res.EnergiesHa),
+			EnergiesHa:    res.EnergiesHa,
+			TemperaturesK: res.TemperaturesK,
+		}
+		if err == nil {
+			final := res.Final
+			rep.Results = &Results{
+				Engine:               EngineReactive,
+				Steps:                res.Steps,
+				EnergiesHa:           boundedTail(res.EnergiesHa),
+				TemperaturesK:        boundedTail(res.TemperaturesK),
+				Census:               &final,
+				RatePerPairPerSec:    res.RatePerPairPerSec,
+				RatePerSurfacePerSec: res.RatePerSurfacePerSec,
+				SurfaceAtoms:         res.SurfaceAtoms,
+				PairCount:            res.PairCount,
+				PHEnd:                res.Final.PHProxy(),
+				FinalSystem:          SnapshotSystem(sys),
+			}
+			if n := len(res.EnergiesHa); n > 0 {
+				rep.Results.FinalEnergyHa = res.EnergiesHa[n-1]
+			}
+			if len(res.Samples) > 0 {
+				rep.Results.PHStart = res.Samples[0].Census.PHProxy()
+			}
 		}
 	}
 	return rep, err
